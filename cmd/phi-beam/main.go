@@ -1,0 +1,83 @@
+// Command phi-beam runs accelerated neutron-beam campaigns against the
+// simulated Xeon Phi 3120A and prints the paper's Figure 2 (FIT + spatial
+// patterns), Figure 3 (FIT reduction vs tolerance), and the machine-scale
+// extrapolation table (§4.2).
+//
+// Usage:
+//
+//	phi-beam [-runs 40000] [-seed N] [-workers N] [-no-ecc]
+//	         [-out beam.jsonl] [-extrapolate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phirel/internal/beam"
+	"phirel/internal/bench/all"
+	"phirel/internal/figures"
+	"phirel/internal/trace"
+)
+
+func main() {
+	var (
+		runs        = flag.Int("runs", 40000, "accelerated runs per benchmark")
+		seed        = flag.Uint64("seed", 1701, "campaign seed")
+		benchSeed   = flag.Uint64("bench-seed", 1, "workload input seed")
+		workers     = flag.Int("workers", 8, "parallel shards")
+		noECC       = flag.Bool("no-ecc", false, "disable SECDED (ablation A2)")
+		out         = flag.String("out", "", "write per-run JSONL log here")
+		extrapolate = flag.Bool("extrapolate", true, "print Trinity/exascale extrapolation")
+	)
+	flag.Parse()
+
+	var logw *trace.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		logw = trace.NewWriter(f)
+		defer logw.Flush()
+	}
+
+	results := map[string]*beam.Result{}
+	for _, name := range all.BeamSuite {
+		fmt.Fprintf(os.Stderr, "phi-beam: %d accelerated runs on %s...\n", *runs, name)
+		res, err := beam.Run(beam.Config{
+			Benchmark: name, Runs: *runs, Seed: *seed, BenchSeed: *benchSeed,
+			Workers: *workers, DisableECC: *noECC, KeepRecords: logw != nil,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		results[name] = res
+		if logw != nil {
+			if err := trace.WriteAll(logw, res.Records); err != nil {
+				fatal(err)
+			}
+			res.Records = nil
+		}
+	}
+
+	fmt.Println(figures.Figure2(results))
+	fmt.Println(figures.Figure3(results))
+	if *extrapolate {
+		fmt.Println(figures.Table2(results))
+	}
+	for _, name := range all.BeamSuite {
+		r := results[name]
+		fmt.Printf("%s: single-element SDC share %s (paper: <10%%)\n",
+			name, r.SingleElementShare())
+	}
+	if logw != nil {
+		fmt.Fprintf(os.Stderr, "phi-beam: wrote %d records to %s\n", logw.Count(), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phi-beam:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command phi-bench runs the ported workloads standalone (golden runs) and
+// reports their shapes, tick counts, work units and wall times — a quick
+// way to inspect the benchmark suite itself.
+//
+// Usage:
+//
+//	phi-bench [-bench all] [-seed 1] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phirel/internal/bench"
+	"phirel/internal/bench/all"
+	"phirel/internal/report"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "all", "benchmark name or 'all'")
+		seed      = flag.Uint64("seed", 1, "workload input seed")
+		reps      = flag.Int("reps", 3, "timing repetitions")
+	)
+	flag.Parse()
+
+	names := all.Suite
+	if *benchName != "all" {
+		names = []string{*benchName}
+	}
+	t := report.NewTable("phirel workload suite (golden runs)",
+		"Benchmark", "Class", "Output", "Ticks", "Windows", "Work units", "Wall/run")
+	for _, name := range names {
+		b, err := bench.New(name, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		runner, err := bench.NewRunner(b)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < *reps; i++ {
+			if res := runner.RunGolden(); res.Status != bench.Completed {
+				fatal(fmt.Errorf("%s: golden re-run %s", name, res.Status))
+			}
+		}
+		per := time.Since(start) / time.Duration(*reps)
+		t.AddRow(name, b.Class().String(),
+			runner.Golden.Shape.String(),
+			fmt.Sprintf("%d", runner.TotalTicks),
+			fmt.Sprintf("%d", b.Windows()),
+			fmt.Sprintf("%d", runner.GoldenWork),
+			per.Round(time.Microsecond).String(),
+		)
+	}
+	fmt.Println(t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phi-bench:", err)
+	os.Exit(1)
+}

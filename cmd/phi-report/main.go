@@ -1,0 +1,168 @@
+// Command phi-report re-derives campaign tables from JSONL logs written by
+// carol-fi — the analog of the paper artifact's parser scripts over the
+// public log release. It reconstructs outcome shares, per-model and
+// per-window PVF, and per-region criticality purely from the log.
+//
+// Usage:
+//
+//	phi-report -in logs.jsonl [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"phirel/internal/core"
+	"phirel/internal/fault"
+	"phirel/internal/report"
+	"phirel/internal/state"
+	"phirel/internal/trace"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "JSONL log written by carol-fi -out")
+		csv = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("missing -in"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.Read[core.InjectionRecord](f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(records) == 0 {
+		fatal(fmt.Errorf("no records in %s", *in))
+	}
+
+	// Group by benchmark and rebuild the aggregates.
+	type agg struct {
+		outcomes core.OutcomeCounts
+		byModel  map[fault.Model]core.OutcomeCounts
+		byRegion map[state.Region]core.OutcomeCounts
+		byWindow map[int]core.OutcomeCounts
+		maxWin   int
+	}
+	groups := map[string]*agg{}
+	for _, rec := range records {
+		g := groups[rec.Benchmark]
+		if g == nil {
+			g = &agg{
+				byModel:  map[fault.Model]core.OutcomeCounts{},
+				byRegion: map[state.Region]core.OutcomeCounts{},
+				byWindow: map[int]core.OutcomeCounts{},
+			}
+			groups[rec.Benchmark] = g
+		}
+		o := rec.OutcomeOf()
+		g.outcomes.Add(o)
+		mc := g.byModel[rec.ModelOf()]
+		mc.Add(o)
+		g.byModel[rec.ModelOf()] = mc
+		rc := g.byRegion[rec.Region]
+		rc.Add(o)
+		g.byRegion[rec.Region] = rc
+		wc := g.byWindow[rec.Window]
+		wc.Add(o)
+		g.byWindow[rec.Window] = wc
+		if rec.Window > g.maxWin {
+			g.maxWin = rec.Window
+		}
+	}
+
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	emit := func(t *report.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	outcomes := report.NewTable("Outcomes from log (Figure 4)",
+		"Benchmark", "Masked %", "SDC %", "DUE %", "N")
+	for _, n := range names {
+		g := groups[n]
+		tot := float64(g.outcomes.Total())
+		outcomes.AddRow(n,
+			fmt.Sprintf("%.1f", 100*float64(g.outcomes.Masked)/tot),
+			fmt.Sprintf("%.1f", 100*float64(g.outcomes.SDC)/tot),
+			fmt.Sprintf("%.1f", 100*float64(g.outcomes.DUE())/tot),
+			fmt.Sprintf("%d", g.outcomes.Total()))
+	}
+	emit(outcomes)
+
+	models := report.NewTable("Fault-model PVF from log (Figure 5)",
+		"Benchmark", "Model", "SDC %", "DUE %", "N")
+	for _, n := range names {
+		for _, m := range fault.Models {
+			c := groups[n].byModel[m]
+			if c.Total() == 0 {
+				continue
+			}
+			models.AddRow(n, m.String(),
+				fmt.Sprintf("%.1f", c.SDCPVF().Percent()),
+				fmt.Sprintf("%.1f", c.DUEPVF().Percent()),
+				fmt.Sprintf("%d", c.Total()))
+		}
+	}
+	emit(models)
+
+	windows := report.NewTable("Time-window PVF from log (Figure 6)",
+		"Benchmark", "Window", "SDC %", "DUE %", "N")
+	for _, n := range names {
+		g := groups[n]
+		for w := 0; w <= g.maxWin; w++ {
+			c := g.byWindow[w]
+			if c.Total() == 0 {
+				continue
+			}
+			windows.AddRow(n, fmt.Sprintf("%d", w+1),
+				fmt.Sprintf("%.1f", c.SDCPVF().Percent()),
+				fmt.Sprintf("%.1f", c.DUEPVF().Percent()),
+				fmt.Sprintf("%d", c.Total()))
+		}
+	}
+	emit(windows)
+
+	crit := report.NewTable("Region criticality from log (§6)",
+		"Benchmark", "Region", "SDC %", "DUE %", "N")
+	for _, n := range names {
+		g := groups[n]
+		regions := make([]string, 0, len(g.byRegion))
+		for r := range g.byRegion {
+			regions = append(regions, string(r))
+		}
+		sort.Strings(regions)
+		for _, r := range regions {
+			c := g.byRegion[state.Region(r)]
+			if c.Total() < 5 {
+				continue
+			}
+			crit.AddRow(n, r,
+				fmt.Sprintf("%.1f", c.SDCPVF().Percent()),
+				fmt.Sprintf("%.1f", c.DUEPVF().Percent()),
+				fmt.Sprintf("%d", c.Total()))
+		}
+	}
+	emit(crit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phi-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Quickstart: inject 200 transient faults into DGEMM with the CAROL-FI
+// analog and print the outcome breakdown — the whole pipeline in ~30 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	_ "phirel/internal/bench/all"
+	"phirel/internal/core"
+)
+
+func main() {
+	res, err := core.RunCampaign(core.CampaignConfig{
+		Benchmark: "DGEMM",
+		N:         200,
+		Seed:      42,
+		BenchSeed: 1,
+		Workers:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DGEMM, %d injections (Single/Double/Random/Zero round-robin):\n", res.N)
+	fmt.Printf("  masked: %s\n", res.Outcomes.MaskedShare())
+	fmt.Printf("  SDC:    %s\n", res.Outcomes.SDCPVF())
+	fmt.Printf("  DUE:    %s (%d crashes, %d hangs)\n",
+		res.Outcomes.DUEPVF(), res.Outcomes.DUECrash, res.Outcomes.DUEHang)
+	fmt.Println("\nMost critical code regions:")
+	for _, c := range res.Criticality(10) {
+		fmt.Printf("  %-10s harmful %.1f%% over %d injections\n",
+			c.Region, c.Harmful.Percent(), c.Injections)
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+
+	"phirel/internal/state"
+)
+
+// Pattern is the paper's spatial classification of a corrupted output
+// (§4.3, Figure 2).
+type Pattern int
+
+const (
+	// PatternNone: no mismatches (masked run); never appears in SDC stats.
+	PatternNone Pattern = iota
+	// PatternSingle: exactly one corrupted element.
+	PatternSingle
+	// PatternLine: multiple corrupted elements spanning exactly one
+	// dimension (a row or column segment).
+	PatternLine
+	// PatternSquare: corrupted elements spanning two dimensions in a
+	// dense block.
+	PatternSquare
+	// PatternCubic: corrupted elements spanning three dimensions in a
+	// dense block (only LavaMD has 3-D outputs).
+	PatternCubic
+	// PatternRandom: multiple corrupted elements with no clear pattern.
+	PatternRandom
+)
+
+// Patterns lists the SDC patterns in the paper's Figure 2 legend order.
+var Patterns = []Pattern{PatternCubic, PatternSquare, PatternLine, PatternSingle, PatternRandom}
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternNone:
+		return "none"
+	case PatternSingle:
+		return "Single"
+	case PatternLine:
+		return "Line"
+	case PatternSquare:
+		return "Square"
+	case PatternCubic:
+		return "Cubic"
+	case PatternRandom:
+		return "Random"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// blockDensity is the minimum fill fraction of the mismatch bounding box
+// for a multi-dimensional spread to count as a coherent block (square/cubic)
+// rather than random scatter. See DESIGN.md §5.3.
+const blockDensity = 0.35
+
+// Classify assigns the paper's pattern to a mismatch set over an output of
+// the given shape.
+func Classify(ms []Mismatch, shape state.Dims) Pattern {
+	switch len(ms) {
+	case 0:
+		return PatternNone
+	case 1:
+		return PatternSingle
+	}
+	minX, maxX := ms[0].X, ms[0].X
+	minY, maxY := ms[0].Y, ms[0].Y
+	minZ, maxZ := ms[0].Z, ms[0].Z
+	for _, m := range ms[1:] {
+		if m.X < minX {
+			minX = m.X
+		}
+		if m.X > maxX {
+			maxX = m.X
+		}
+		if m.Y < minY {
+			minY = m.Y
+		}
+		if m.Y > maxY {
+			maxY = m.Y
+		}
+		if m.Z < minZ {
+			minZ = m.Z
+		}
+		if m.Z > maxZ {
+			maxZ = m.Z
+		}
+	}
+	spanX, spanY, spanZ := maxX-minX+1, maxY-minY+1, maxZ-minZ+1
+	spanned := 0
+	for _, s := range [3]int{spanX, spanY, spanZ} {
+		if s > 1 {
+			spanned++
+		}
+	}
+	switch spanned {
+	case 0:
+		// Multiple mismatches at one coordinate cannot happen with distinct
+		// indices, but a sentinel (-1) mismatch lands here: call it single.
+		return PatternSingle
+	case 1:
+		return PatternLine
+	case 2:
+		box := spanX * spanY * spanZ
+		if float64(len(ms)) >= blockDensity*float64(box) {
+			return PatternSquare
+		}
+		return PatternRandom
+	default:
+		box := spanX * spanY * spanZ
+		if float64(len(ms)) >= blockDensity*float64(box) {
+			return PatternCubic
+		}
+		return PatternRandom
+	}
+}

@@ -1,0 +1,66 @@
+package beam
+
+import (
+	"testing"
+
+	"phirel/internal/bench"
+	_ "phirel/internal/bench/all"
+	"phirel/internal/phi"
+	"phirel/internal/stats"
+)
+
+// Effects applied to a quiescent benchmark must produce a self-consistent
+// description and leave the benchmark runnable.
+func TestApplyEffectAllKinds(t *testing.T) {
+	b, err := bench.New("DGEMM", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := bench.NewRunner(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := phi.NewKNC3120A()
+	rng := stats.NewRNG(9)
+	for _, e := range []Effect{EffectSingle, EffectVectorLanes, EffectCacheLine, EffectThreadTile, EffectControl} {
+		detail := ""
+		res := runner.RunInjected(2, func() {
+			detail = applyEffect(b, dev, e, rng)
+		})
+		if detail == "" || detail == "data:none-live" || detail == "control:none-live" {
+			t.Fatalf("effect %v found no target: %q", e, detail)
+		}
+		_ = res // any terminal status is legal; the harness must survive
+	}
+	// And a clean run afterwards still matches golden.
+	clean := runner.RunGolden()
+	if clean.Status != bench.Completed || !bench.CompareExact(runner.Golden, clean.Output) {
+		t.Fatal("benchmark damaged across effect applications")
+	}
+}
+
+// Vector-lane bursts must touch exactly VectorBits worth of consecutive
+// elements when the chosen buffer is large enough.
+func TestVectorLanesBurstWidth(t *testing.T) {
+	b, _ := bench.New("DGEMM", 1)
+	runner, _ := bench.NewRunner(b)
+	dev := phi.NewKNC3120A()
+	rng := stats.NewRNG(11)
+	res := runner.RunInjected(0, func() {
+		applyEffect(b, dev, EffectVectorLanes, rng)
+	})
+	if res.Status != bench.Completed {
+		t.Skipf("run ended %v; cannot inspect output", res.Status)
+	}
+	// 512-bit lanes over f64 = 8 elements; corrupted inputs propagate, so
+	// check the corruption description instead of counting mismatches.
+	// (The detail string encodes [start+count].)
+	res2 := runner.RunInjected(0, func() {
+		d := applyEffect(b, dev, EffectVectorLanes, rng)
+		want := "+8]"
+		if len(d) < len(want) || d[len(d)-len(want):] != want {
+			t.Fatalf("vector burst detail %q does not end with %q", d, want)
+		}
+	})
+	_ = res2
+}

@@ -1,0 +1,175 @@
+package beam
+
+import (
+	"testing"
+
+	"phirel/internal/analysis"
+	_ "phirel/internal/bench/all"
+	"phirel/internal/phi"
+	"phirel/internal/stats"
+)
+
+func TestBeamSmallCampaign(t *testing.T) {
+	res, err := Run(Config{Benchmark: "DGEMM", Runs: 3000, Seed: 1, BenchSeed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Masked + res.SDC + res.DUE()
+	if total != 3000 {
+		t.Fatalf("outcome total %d != runs", total)
+	}
+	if res.CorrectedByECC < 2000 {
+		t.Fatalf("ECC corrected only %d; SRAM faults should dominate", res.CorrectedByECC)
+	}
+	if res.SDC == 0 {
+		t.Fatal("no SDCs in 3000 accelerated runs")
+	}
+	if res.DUEMCA == 0 {
+		t.Fatal("no MCA DUEs; double-bit path unexercised")
+	}
+	if len(res.RelErrs) != res.SDC {
+		t.Fatalf("rel errs %d != SDC count %d", len(res.RelErrs), res.SDC)
+	}
+}
+
+func TestBeamDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		r, err := Run(Config{Benchmark: "DGEMM", Runs: 400, Seed: 7, BenchSeed: 1,
+			Workers: workers, KeepRecords: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(1), run(3)
+	if a.SDC != b.SDC || a.DUE() != b.DUE() || a.Masked != b.Masked {
+		t.Fatalf("outcomes differ: %d/%d/%d vs %d/%d/%d",
+			a.Masked, a.SDC, a.DUE(), b.Masked, b.SDC, b.DUE())
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestBeamECCAblation(t *testing.T) {
+	on, err := Run(Config{Benchmark: "DGEMM", Runs: 1500, Seed: 3, BenchSeed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(Config{Benchmark: "DGEMM", Runs: 1500, Seed: 3, BenchSeed: 1, Workers: 4,
+		DisableECC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.DUEMCA != 0 {
+		t.Fatal("MCA DUEs with ECC disabled")
+	}
+	if off.SDC <= 2*on.SDC {
+		t.Fatalf("disabling ECC should multiply SDCs: on=%d off=%d", on.SDC, off.SDC)
+	}
+	if off.CorrectedByECC != 0 {
+		t.Fatal("corrected faults with ECC disabled")
+	}
+}
+
+func TestBeamFITAccounting(t *testing.T) {
+	res, err := Run(Config{Benchmark: "LUD", Runs: 2000, Seed: 5, BenchSeed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc := res.SDCFIT()
+	if sdc.K != res.SDC || sdc.N != res.Runs {
+		t.Fatal("FIT estimate counts wrong")
+	}
+	if sdc.FIT <= 0 || !(sdc.CI.Lo <= sdc.FIT && sdc.FIT <= sdc.CI.Hi) {
+		t.Fatalf("FIT %v CI %v inconsistent", sdc.FIT, sdc.CI)
+	}
+	// Pattern FITs must sum to the SDC FIT.
+	sum := 0.0
+	for _, p := range analysis.Patterns {
+		sum += res.PatternFIT(p).FIT
+	}
+	if diff := sum - sdc.FIT; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("pattern FITs sum %v != SDC FIT %v", sum, sdc.FIT)
+	}
+}
+
+// Paper §2.1: fewer than 10% of corrupted executions have a single wrong
+// element. Allow slack for the small sample.
+func TestBeamMultiElementDominates(t *testing.T) {
+	res, err := Run(Config{Benchmark: "DGEMM", Runs: 6000, Seed: 11, BenchSeed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SDC < 30 {
+		t.Skipf("only %d SDCs; not enough for a share test", res.SDC)
+	}
+	share := res.SingleElementShare()
+	if share.P > 0.35 {
+		t.Fatalf("single-element SDCs are %.0f%%; multi-element errors must dominate", share.Percent())
+	}
+}
+
+func TestBeamToleranceCurveMonotone(t *testing.T) {
+	res, err := Run(Config{Benchmark: "HotSpot", Runs: 4000, Seed: 13, BenchSeed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := res.ToleranceCurve(analysis.DefaultTolerances)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("tolerance curve not monotone: %v", curve)
+		}
+	}
+	if res.SDC > 20 && curve[len(curve)-1] == 0 {
+		t.Fatal("15% tolerance removed nothing; attenuation analysis broken")
+	}
+}
+
+func TestBeamUnknownBenchmark(t *testing.T) {
+	if _, err := Run(Config{Benchmark: "Ghost", Runs: 10}); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+	if _, err := Run(Config{Benchmark: "DGEMM", Runs: 0}); err == nil {
+		t.Fatal("accepted zero runs")
+	}
+}
+
+func TestEffectMapping(t *testing.T) {
+	r := stats.NewRNG(17)
+	seen := map[Effect]bool{}
+	for i := 0; i < 500; i++ {
+		for _, c := range []phi.Class{phi.VectorRegfile, phi.Pipeline, phi.Scheduler, phi.Interconnect, phi.SRAM} {
+			seen[effectFor(c, r)] = true
+		}
+	}
+	for _, e := range []Effect{EffectSingle, EffectVectorLanes, EffectCacheLine, EffectThreadTile, EffectControl} {
+		if !seen[e] {
+			t.Fatalf("effect %v never produced", e)
+		}
+		if e.String() == "" {
+			t.Fatal("effect name")
+		}
+	}
+}
+
+func TestBeamAllBeamSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"CLAMR", "HotSpot", "LavaMD"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Benchmark: name, Runs: 600, Seed: 19, BenchSeed: 1, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Masked+res.SDC+res.DUE() != 600 {
+				t.Fatal("accounting")
+			}
+		})
+	}
+}

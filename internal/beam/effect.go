@@ -1,0 +1,203 @@
+// Package beam simulates the paper's LANSCE neutron-beam campaigns (§4):
+// accelerated runs that each receive exactly one raw device fault, filtered
+// through the phi device model's ECC/MCA layer, with survivors mapped to
+// architectural corruption of the running workload. Outputs are classified
+// exactly as the host checker did — any bit mismatch is an SDC — and
+// aggregated into SDC/DUE FIT rates split by spatial pattern (Figure 2),
+// relative-error tolerance curves (Figure 3), and machine-scale
+// extrapolations (§4.2).
+package beam
+
+import (
+	"fmt"
+
+	"phirel/internal/bench"
+	"phirel/internal/fault"
+	"phirel/internal/phi"
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+// Effect is the architectural manifestation of a silent fault.
+type Effect int
+
+const (
+	// EffectSingle corrupts one data element (a latched flip-flop upset).
+	EffectSingle Effect = iota
+	// EffectVectorLanes corrupts a vector register's worth of consecutive
+	// elements (512 bits on KNC).
+	EffectVectorLanes
+	// EffectCacheLine corrupts one 64-byte line (SECDED escape or ring
+	// transfer corruption).
+	EffectCacheLine
+	// EffectThreadTile corrupts a contiguous tile an entire hardware
+	// thread produced (scheduler/dispatch upset: the paper's "corruption
+	// in a resource shared among parallel processes").
+	EffectThreadTile
+	// EffectControl corrupts a live control/constant scalar.
+	EffectControl
+)
+
+// String names the effect.
+func (e Effect) String() string {
+	switch e {
+	case EffectSingle:
+		return "single-elem"
+	case EffectVectorLanes:
+		return "vector-lanes"
+	case EffectCacheLine:
+		return "cache-line"
+	case EffectThreadTile:
+		return "thread-tile"
+	case EffectControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Effect(%d)", int(e))
+	}
+}
+
+// effectFor maps a faulted resource class to an architectural effect.
+func effectFor(c phi.Class, r *stats.RNG) Effect {
+	switch c {
+	case phi.VectorRegfile:
+		if r.Bernoulli(0.8) {
+			return EffectVectorLanes
+		}
+		return EffectSingle
+	case phi.Pipeline:
+		if r.Bernoulli(0.7) {
+			return EffectSingle
+		}
+		return EffectControl
+	case phi.Scheduler:
+		if r.Bernoulli(0.5) {
+			return EffectControl
+		}
+		return EffectThreadTile
+	case phi.Interconnect, phi.SRAM:
+		return EffectCacheLine
+	default:
+		return EffectSingle
+	}
+}
+
+// elemBuffer is the subset of state.Site implemented by all array buffers.
+type elemBuffer interface {
+	state.Site
+	Len() int
+}
+
+// elemCorruptor matches buffers that can corrupt a chosen element.
+type elemCorruptor interface {
+	elemBuffer
+	CorruptElem(r *stats.RNG, m fault.Model, i int) state.Report
+}
+
+// liveBuffers returns the currently visible array sites, for byte-weighted
+// targeting (a physical fault lands in a uniformly random occupied bit).
+func liveBuffers(b bench.Benchmark) []elemCorruptor {
+	var out []elemCorruptor
+	for _, s := range b.Registry().Live() {
+		if ec, ok := s.(elemCorruptor); ok && ec.Len() > 0 {
+			out = append(out, ec)
+		}
+	}
+	return out
+}
+
+// liveScalars returns the currently visible armable scalar sites.
+func liveScalars(b bench.Benchmark) []state.Armable {
+	var out []state.Armable
+	for _, s := range b.Registry().Live() {
+		if a, ok := s.(state.Armable); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// pickBuffer selects a buffer weighted by footprint.
+func pickBuffer(bufs []elemCorruptor, r *stats.RNG) elemCorruptor {
+	if len(bufs) == 0 {
+		return nil
+	}
+	weights := make([]float64, len(bufs))
+	for i, b := range bufs {
+		weights[i] = float64(b.SizeBytes())
+	}
+	return bufs[r.PickWeighted(weights)]
+}
+
+// applyEffect corrupts the benchmark's state according to the effect. It
+// returns a short description for the run log.
+func applyEffect(b bench.Benchmark, dev *phi.Device, e Effect, r *stats.RNG) string {
+	switch e {
+	case EffectControl:
+		scalars := liveScalars(b)
+		if len(scalars) == 0 {
+			return "control:none-live"
+		}
+		victim := scalars[r.Intn(len(scalars))]
+		m := fault.Single
+		if r.Bernoulli(0.3) {
+			m = fault.Random
+		}
+		victim.Arm(r.Intn(64), m, r.Split())
+		return "control:" + victim.Name()
+
+	default:
+		bufs := liveBuffers(b)
+		buf := pickBuffer(bufs, r)
+		if buf == nil {
+			return "data:none-live"
+		}
+		elemBytes := buf.Kind().Bytes()
+		var n int
+		var m fault.Model
+		switch e {
+		case EffectSingle:
+			n = 1
+			switch x := r.Float64(); {
+			case x < 0.6:
+				m = fault.Single
+			case x < 0.8:
+				m = fault.Double
+			default:
+				m = fault.Random
+			}
+		case EffectVectorLanes:
+			n = dev.VectorBits / (8 * elemBytes)
+			m = fault.Single
+		case EffectCacheLine:
+			// A corrupted transfer lane flips one bit per element across
+			// the line; occasionally a whole word is garbage.
+			n = 64 / elemBytes
+			m = fault.Single
+			if r.Bernoulli(0.2) {
+				n = 1
+				m = fault.Random
+			}
+		case EffectThreadTile:
+			// A mis-scheduled thread either stops early (its chunk keeps
+			// stale/zero data) or retires a burst of single-bit-damaged
+			// results; it does not emit uniformly random words.
+			n = 16 + r.Intn(113) // 16..128 elements of a thread's chunk
+			if r.Bernoulli(0.6) {
+				m = fault.Zero
+			} else {
+				m = fault.Single
+			}
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > buf.Len() {
+			n = buf.Len()
+		}
+		start := r.Intn(buf.Len() - n + 1)
+		for i := 0; i < n; i++ {
+			buf.CorruptElem(r, m, start+i)
+		}
+		return fmt.Sprintf("%s:%s[%d+%d]", e, buf.Name(), start, n)
+	}
+}

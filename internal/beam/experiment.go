@@ -1,0 +1,276 @@
+package beam
+
+import (
+	"fmt"
+	"sync"
+
+	"phirel/internal/analysis"
+	"phirel/internal/bench"
+	"phirel/internal/phi"
+	"phirel/internal/stats"
+)
+
+// Config parameterises one accelerated beam campaign.
+type Config struct {
+	// Benchmark is the registered workload name.
+	Benchmark string
+	// Runs is the number of accelerated runs; each receives exactly one
+	// raw fault (the paper tuned flux so multi-fault runs are negligible).
+	Runs int
+	// Seed determinises the campaign; BenchSeed the workload inputs.
+	Seed, BenchSeed uint64
+	// Workers parallelises runs (results independent of worker count).
+	Workers int
+	// Device overrides the default KNC 3120A model.
+	Device *phi.Device
+	// DisableECC removes SECDED from the SRAM arrays (ablation A2: every
+	// SRAM upset reaches architectural state).
+	DisableECC bool
+	// KeepRecords retains per-run records.
+	KeepRecords bool
+}
+
+// Record is one accelerated run's log entry (the public beam log format).
+type Record struct {
+	Seq       int     `json:"seq"`
+	Benchmark string  `json:"benchmark"`
+	Resource  string  `json:"resource"`
+	HWResult  string  `json:"hwResult"`
+	Effect    string  `json:"effect,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+	Tick      int     `json:"tick"`
+	Outcome   string  `json:"outcome"`
+	Pattern   string  `json:"pattern"`
+	MaxRelErr float64 `json:"maxRelErr"`
+	Corrupted int     `json:"corruptedElems"`
+}
+
+// Result aggregates a beam campaign into the paper's Figure 2/3 quantities.
+type Result struct {
+	Benchmark string
+	Runs      int
+	Device    string
+
+	// Outcome tallies over all accelerated runs.
+	Masked, SDC, DUECrash, DUEHang, DUEMCA int
+	// CorrectedByECC counts raw faults absorbed by SECDED.
+	CorrectedByECC int
+
+	// SDCByPattern splits the SDC count by spatial pattern.
+	SDCByPattern map[analysis.Pattern]int
+
+	// RelErrs holds the worst relative error of every SDC run (Figure 3).
+	RelErrs []float64
+
+	// RawFaultRate is the calibrated raw upset rate (faults/hour at
+	// natural flux) that converts probabilities into FIT.
+	RawFaultRate float64
+
+	Records []Record
+}
+
+// DUE returns all detected-unrecoverable counts.
+func (r *Result) DUE() int { return r.DUECrash + r.DUEHang + r.DUEMCA }
+
+// FIT converts an outcome count into a FIT estimate with binomial CI.
+func (r *Result) FIT(count int) analysis.FITEstimate {
+	p := stats.NewProportion(count, r.Runs)
+	scale := r.RawFaultRate * 1e9
+	return analysis.FITEstimate{
+		FIT: scale * p.P,
+		K:   count, N: r.Runs,
+		CI: stats.Interval{Lo: scale * p.CI.Lo, Hi: scale * p.CI.Hi},
+	}
+}
+
+// SDCFIT returns the total SDC FIT estimate.
+func (r *Result) SDCFIT() analysis.FITEstimate { return r.FIT(r.SDC) }
+
+// DUEFIT returns the total DUE FIT estimate.
+func (r *Result) DUEFIT() analysis.FITEstimate { return r.FIT(r.DUE()) }
+
+// PatternFIT returns the FIT attributable to one SDC spatial pattern.
+func (r *Result) PatternFIT(p analysis.Pattern) analysis.FITEstimate {
+	return r.FIT(r.SDCByPattern[p])
+}
+
+// ToleranceCurve returns percentage FIT reduction at each tolerance
+// (Figure 3 series for this benchmark).
+func (r *Result) ToleranceCurve(tolerances []float64) []float64 {
+	return analysis.ToleranceCurve(r.RelErrs, tolerances)
+}
+
+// SingleElementShare returns the fraction of SDC runs whose corruption was
+// confined to one output element — the paper's "less than 10% of
+// neutron-corrupted executions are affected by only a single erroneous
+// element" (§2.1).
+func (r *Result) SingleElementShare() stats.Proportion {
+	return stats.NewProportion(r.SDCByPattern[analysis.PatternSingle], r.SDC)
+}
+
+// Run executes the accelerated campaign.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("beam: campaign needs Runs > 0")
+	}
+	dev := cfg.Device
+	if dev == nil {
+		dev = phi.NewKNC3120A()
+	}
+	if cfg.DisableECC {
+		noECC := *dev
+		noECC.Resources = append([]phi.Resource(nil), dev.Resources...)
+		for i := range noECC.Resources {
+			noECC.Resources[i].ECC = phi.NoECC
+		}
+		dev = &noECC
+	}
+	profile, err := phi.ProfileFor(cfg.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	type shard struct {
+		b      bench.Benchmark
+		runner *bench.Runner
+	}
+	newShard := func() (*shard, error) {
+		b, err := bench.New(cfg.Benchmark, cfg.BenchSeed)
+		if err != nil {
+			return nil, err
+		}
+		runner, err := bench.NewRunner(b)
+		if err != nil {
+			return nil, err
+		}
+		return &shard{b: b, runner: runner}, nil
+	}
+
+	records := make([]Record, cfg.Runs)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh, err := newShard()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := w; i < cfg.Runs; i += workers {
+				rng := stats.NewRNG(mixBeam(cfg.Seed, uint64(i)))
+				records[i] = oneRun(i, cfg.Benchmark, sh.b, sh.runner, dev, profile, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Benchmark:    cfg.Benchmark,
+		Runs:         cfg.Runs,
+		Device:       dev.Name,
+		SDCByPattern: map[analysis.Pattern]int{},
+		RawFaultRate: dev.RawFaultRate(profile, analysis.NaturalFlux),
+	}
+	for _, rec := range records {
+		switch rec.Outcome {
+		case bench.Masked.String():
+			res.Masked++
+			if rec.HWResult == phi.Corrected.String() {
+				res.CorrectedByECC++
+			}
+		case bench.SDC.String():
+			res.SDC++
+			for _, p := range analysis.Patterns {
+				if p.String() == rec.Pattern {
+					res.SDCByPattern[p]++
+				}
+			}
+			res.RelErrs = append(res.RelErrs, rec.MaxRelErr)
+		case bench.DUECrash.String():
+			res.DUECrash++
+		case bench.DUEHang.String():
+			res.DUEHang++
+		case bench.DUEMCA.String():
+			res.DUEMCA++
+		}
+	}
+	if cfg.KeepRecords {
+		res.Records = records
+	}
+	return res, nil
+}
+
+// oneRun executes one accelerated run: sample a raw fault, filter it
+// through protection, and — only when it reaches architecture — actually
+// execute the workload with the corruption applied at a uniform tick.
+func oneRun(seq int, name string, b bench.Benchmark, runner *bench.Runner,
+	dev *phi.Device, profile phi.Profile, rng *stats.RNG) Record {
+
+	rec := Record{Seq: seq, Benchmark: name}
+	f := dev.SampleFault(rng, profile)
+	rec.Resource = f.Resource.Name
+	rec.HWResult = f.Result.String()
+	switch f.Result {
+	case phi.Corrected:
+		rec.Outcome = bench.Masked.String()
+		rec.Pattern = analysis.PatternNone.String()
+		return rec
+	case phi.DetectedMCA:
+		rec.Outcome = bench.DUEMCA.String()
+		rec.Pattern = analysis.PatternNone.String()
+		return rec
+	}
+
+	effect := effectFor(f.Resource.Class, rng)
+	rec.Effect = effect.String()
+	tick := rng.Intn(runner.TotalTicks)
+	rec.Tick = tick
+	res := runner.RunInjected(tick, func() {
+		rec.Detail = applyEffect(b, dev, effect, rng)
+	})
+	switch res.Status {
+	case bench.Crashed:
+		rec.Outcome = bench.DUECrash.String()
+		rec.Pattern = analysis.PatternNone.String()
+	case bench.Hung:
+		rec.Outcome = bench.DUEHang.String()
+		rec.Pattern = analysis.PatternNone.String()
+	default:
+		ms := analysis.Compare(runner.Golden, res.Output)
+		if len(ms) == 0 {
+			rec.Outcome = bench.Masked.String()
+			rec.Pattern = analysis.PatternNone.String()
+		} else {
+			rec.Outcome = bench.SDC.String()
+			rec.Pattern = analysis.Classify(ms, runner.Golden.Shape).String()
+			rec.MaxRelErr = analysis.FiniteRelErr(analysis.MaxRelErr(ms))
+			rec.Corrupted = len(ms)
+		}
+	}
+	return rec
+}
+
+// mixBeam derives the per-run RNG seed (distinct stream family from the
+// CAROL-FI campaign mixer).
+func mixBeam(seed, i uint64) uint64 {
+	x := seed ^ 0xbeadcafef00dd00d ^ (i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}

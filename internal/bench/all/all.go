@@ -1,0 +1,19 @@
+// Package all registers every workload with the bench registry, so callers
+// can import one package for the full suite (the paper's six benchmarks).
+package all
+
+import (
+	_ "phirel/internal/bench/clamr"
+	_ "phirel/internal/bench/dgemm"
+	_ "phirel/internal/bench/hotspot"
+	_ "phirel/internal/bench/lavamd"
+	_ "phirel/internal/bench/lud"
+	_ "phirel/internal/bench/nw"
+)
+
+// Suite lists the paper's benchmarks in presentation order (Figures 2-6).
+var Suite = []string{"CLAMR", "DGEMM", "HotSpot", "LavaMD", "LUD", "NW"}
+
+// BeamSuite lists the five benchmarks measured under the neutron beam
+// (paper §3.2: "NW was only tested with our fault injection").
+var BeamSuite = []string{"CLAMR", "DGEMM", "HotSpot", "LavaMD", "LUD"}

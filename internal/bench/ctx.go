@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// watchdogFired is the sentinel panic value raised when the work budget is
+// exhausted; the Runner classifies it as DUE-hang.
+type watchdogFired struct {
+	work, budget int64
+}
+
+// String deliberately omits the exact work counter: its value at overflow
+// depends on worker interleaving, and run records must be deterministic.
+func (w watchdogFired) String() string {
+	return fmt.Sprintf("watchdog: work budget %d exceeded", w.budget)
+}
+
+// Ctx is the supervisor context threaded through one benchmark run.
+//
+// Tick is called only from the orchestrating goroutine at quiescent points
+// (no workers running); Work may be called concurrently from workers.
+type Ctx struct {
+	// tick state (orchestrator goroutine only)
+	tick     int
+	injectAt int
+	inject   func()
+	injected bool
+
+	// work accounting (atomic; workers touch it)
+	work   atomic.Int64
+	budget int64 // 0 = unlimited (golden runs)
+}
+
+// newCtx builds a context. injectAt < 0 disables injection; budget <= 0
+// disables the watchdog.
+func newCtx(injectAt int, inject func(), budget int64) *Ctx {
+	return &Ctx{injectAt: injectAt, inject: inject, budget: budget}
+}
+
+// Tick marks one instrumentation point. When the scheduled injection tick is
+// reached the injection callback fires exactly once, with the benchmark
+// quiescent — the analog of CAROL-FI interrupting the program and running
+// the flip-script.
+func (c *Ctx) Tick() {
+	if c.tick == c.injectAt && c.inject != nil && !c.injected {
+		c.injected = true
+		c.inject()
+	}
+	c.tick++
+}
+
+// Ticks returns the number of ticks elapsed.
+func (c *Ctx) Ticks() int { return c.tick }
+
+// Injected reports whether the scheduled injection has fired.
+func (c *Ctx) Injected() bool { return c.injected }
+
+// Work accounts n units of benchmark work (typically inner-loop trips).
+// When the cumulative work exceeds the budget it panics with the watchdog
+// sentinel, making hangs deterministic instead of wall-clock dependent.
+//
+// Idiom: reserve budget *before* entering any loop whose trip count derives
+// from a corruptible cell (ctx.Work(int64(bound)); for i := 0; i < bound ...)
+// — accounting after the loop would let a corrupted bound spin forever
+// before the watchdog sees it.
+func (c *Ctx) Work(n int64) {
+	w := c.work.Add(n)
+	if c.budget > 0 && w > c.budget {
+		panic(watchdogFired{work: w, budget: c.budget})
+	}
+}
+
+// WorkDone returns the cumulative accounted work.
+func (c *Ctx) WorkDone() int64 { return c.work.Load() }
+
+// capturedPanic carries a worker panic to the orchestrator.
+type capturedPanic struct {
+	val any
+}
+
+// ParallelFor runs body over [0,n) split into contiguous chunks, one per
+// worker goroutine, and blocks until all complete. It is the OpenMP
+// `parallel for (static)` analog the ported benchmarks use.
+//
+// A panic inside any worker (index error from a corrupted bound, watchdog,
+// explicit invariant) is captured and re-raised in the caller after all
+// workers have stopped, so the supervisor sees it on the orchestrating
+// goroutine and no goroutines leak.
+func ParallelFor(workers, n int, body func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		body(0, 0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first any
+	)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if first == nil {
+						first = r
+					}
+					mu.Unlock()
+				}
+			}()
+			body(w, start, end)
+		}(w, start, end)
+	}
+	wg.Wait()
+	if first != nil {
+		panic(capturedPanic{val: first})
+	}
+}

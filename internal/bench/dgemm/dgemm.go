@@ -1,0 +1,210 @@
+// Package dgemm ports the paper's DGEMM benchmark: a blocked, parallel
+// double-precision matrix multiplication C = A×B (paper §3.2: "an optimized
+// version of a matrix multiplication algorithm ... compute-bound program
+// often used to rank supercomputers").
+//
+// Injectable structure mirrors the paper's analysis targets:
+//
+//   - the three matrices A, B, C (region "matrix");
+//   - nine integer loop-control variables *per worker* (region "control"):
+//     block starts/ends and running indices for the i/j/k loop nest. The
+//     paper stresses that each of the 228 hardware threads keeps its own
+//     copy of these nine variables, which multiplies their memory footprint
+//     and hence their share of injections under the by-bytes policy.
+package dgemm
+
+import (
+	"fmt"
+
+	"phirel/internal/bench"
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+// Config sizes the workload.
+type Config struct {
+	// N is the matrix dimension (N×N).
+	N int
+	// Block is the tile edge for the blocked loops.
+	Block int
+	// Workers is the parallel width (the Xeon Phi ran 228 threads; the port
+	// defaults to a small pool and scales the per-worker control variables
+	// with it).
+	Workers int
+}
+
+// DefaultConfig returns the campaign-scale configuration (~1 ms per run).
+func DefaultConfig() Config { return Config{N: 96, Block: 16, Workers: 4} }
+
+// worker holds the nine per-thread loop-control variables the paper calls
+// out. They are genuinely load-bearing: the loops below read bounds and
+// indices through these cells, so corrupting one skips work, repeats work,
+// overwrites other tiles, walks out of bounds (DUE-crash) or spins into the
+// watchdog (DUE-hang).
+type worker struct {
+	iStart, iEnd, iCur *state.Int
+	jStart, jEnd, jCur *state.Int
+	kStart, kEnd, kCur *state.Int
+}
+
+// DGEMM implements bench.Benchmark.
+type DGEMM struct {
+	cfg     Config
+	reg     *state.Registry
+	a, b, c *state.F64s
+	a0, b0  []float64 // pristine inputs for Reset
+	workers []worker
+}
+
+// New builds a DGEMM instance with deterministic pseudo-random inputs.
+func New(cfg Config, seed uint64) *DGEMM {
+	if cfg.N <= 0 || cfg.Block <= 0 || cfg.Workers <= 0 {
+		panic(fmt.Sprintf("dgemm: bad config %+v", cfg))
+	}
+	d := &DGEMM{cfg: cfg, reg: state.NewRegistry()}
+	shape := state.Dims2(cfg.N, cfg.N)
+	d.a = state.NewF64s("A", "matrix", shape)
+	d.b = state.NewF64s("B", "matrix", shape)
+	d.c = state.NewF64s("C", "matrix", shape)
+	r := stats.NewRNG(seed)
+	for i := range d.a.Data {
+		d.a.Data[i] = 2*r.Float64() - 1
+		d.b.Data[i] = 2*r.Float64() - 1
+	}
+	d.a0 = append([]float64(nil), d.a.Data...)
+	d.b0 = append([]float64(nil), d.b.Data...)
+	d.reg.Global().Register(d.a, d.b, d.c)
+	d.workers = make([]worker, cfg.Workers)
+	for w := range d.workers {
+		wk := &d.workers[w]
+		mk := func(v string) *state.Int {
+			c := state.NewInt(fmt.Sprintf("w%d.%s", w, v), "control", 0)
+			d.reg.Global().Register(c)
+			return c
+		}
+		wk.iStart, wk.iEnd, wk.iCur = mk("iStart"), mk("iEnd"), mk("iCur")
+		wk.jStart, wk.jEnd, wk.jCur = mk("jStart"), mk("jEnd"), mk("jCur")
+		wk.kStart, wk.kEnd, wk.kCur = mk("kStart"), mk("kEnd"), mk("kCur")
+	}
+	return d
+}
+
+// Name implements bench.Benchmark.
+func (d *DGEMM) Name() string { return "DGEMM" }
+
+// Class implements bench.Benchmark.
+func (d *DGEMM) Class() bench.Class { return bench.Algebraic }
+
+// Windows implements bench.Benchmark (paper: DGEMM split into 5 windows).
+func (d *DGEMM) Windows() int { return 5 }
+
+// Registry implements bench.Benchmark.
+func (d *DGEMM) Registry() *state.Registry { return d.reg }
+
+// Reset implements bench.Benchmark.
+func (d *DGEMM) Reset() {
+	d.reg.PopAll()
+	d.reg.DisarmAll()
+	copy(d.a.Data, d.a0)
+	copy(d.b.Data, d.b0)
+	for i := range d.c.Data {
+		d.c.Data[i] = 0
+	}
+	for w := range d.workers {
+		wk := &d.workers[w]
+		for _, c := range []*state.Int{wk.iStart, wk.iEnd, wk.iCur, wk.jStart, wk.jEnd, wk.jCur, wk.kStart, wk.kEnd, wk.kCur} {
+			c.Store(0)
+		}
+	}
+}
+
+// Run implements bench.Benchmark. The row-block loop is the tick axis: one
+// tick per block row, so injections land uniformly over execution time and
+// window attribution is meaningful.
+func (d *DGEMM) Run(ctx *bench.Ctx) {
+	n, bs := d.cfg.N, d.cfg.Block
+	for ib := 0; ib < n; ib += bs {
+		ctx.Tick()
+		// Parallelise over the column blocks of this row block; each worker
+		// walks its own block range through its own control cells.
+		nCols := (n + bs - 1) / bs
+		bench.ParallelFor(d.cfg.Workers, nCols, func(w, startCol, endCol int) {
+			wk := &d.workers[w]
+			for jb := startCol * bs; jb < endCol*bs && jb < n; jb += bs {
+				d.tile(ctx, wk, ib, jb, min(ib+bs, n), min(jb+bs, n))
+			}
+		})
+	}
+}
+
+// tile computes C[i0:i1, j0:j1] += A[i0:i1, :]·B[:, j0:j1] with every loop
+// driven by corruptible control cells.
+func (d *DGEMM) tile(ctx *bench.Ctx, wk *worker, i0, j0, i1, j1 int) {
+	n := d.cfg.N
+	a, b, c := d.a.Data, d.b.Data, d.c.Data
+	wk.iStart.Store(i0)
+	wk.iEnd.Store(i1)
+	wk.jStart.Store(j0)
+	wk.jEnd.Store(j1)
+	wk.kStart.Store(0)
+	wk.kEnd.Store(n)
+
+	iSpan := int64(wk.iEnd.Load() - wk.iStart.Load())
+	jSpan := int64(wk.jEnd.Load() - wk.jStart.Load())
+	kSpan := int64(wk.kEnd.Load() - wk.kStart.Load())
+	if iSpan < 0 || jSpan < 0 || kSpan < 0 {
+		// A corrupted bound can invert a range; the real code would simply
+		// not enter the loop.
+		return
+	}
+	ctx.Work(iSpan*jSpan*kSpan + 1)
+
+	for wk.iCur.Store(wk.iStart.Load()); wk.iCur.Load() < wk.iEnd.Load(); wk.iCur.Add(1) {
+		i := wk.iCur.Load()
+		for wk.jCur.Store(wk.jStart.Load()); wk.jCur.Load() < wk.jEnd.Load(); wk.jCur.Add(1) {
+			j := wk.jCur.Load()
+			sum := 0.0
+			for wk.kCur.Store(wk.kStart.Load()); wk.kCur.Load() < wk.kEnd.Load(); wk.kCur.Add(1) {
+				k := wk.kCur.Load()
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			// Corrupted cursors wandering outside this worker's tile would
+			// stomp another thread's output; abort at the boundary (the
+			// tile bounds are uncorruptible locals, keeping writes disjoint).
+			if i < i0 || i >= i1 || j < j0 || j >= j1 {
+				panic(fmt.Sprintf("dgemm: write (%d,%d) outside tile [%d,%d)x[%d,%d)", i, j, i0, i1, j0, j1))
+			}
+			c[i*n+j] += sum
+		}
+	}
+}
+
+// Output implements bench.Benchmark.
+func (d *DGEMM) Output() bench.Output {
+	return bench.Output{Vals: append([]float64(nil), d.c.Data...), Shape: d.c.Shape}
+}
+
+// A exposes the input matrix for mitigation tests (ABFT wraps DGEMM).
+func (d *DGEMM) A() *state.F64s { return d.a }
+
+// B exposes the input matrix for mitigation tests.
+func (d *DGEMM) B() *state.F64s { return d.b }
+
+// C exposes the output matrix for mitigation tests.
+func (d *DGEMM) C() *state.F64s { return d.c }
+
+// Size returns the matrix dimension.
+func (d *DGEMM) Size() int { return d.cfg.N }
+
+func init() {
+	bench.Register("DGEMM", func(seed uint64) bench.Benchmark {
+		return New(DefaultConfig(), seed)
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

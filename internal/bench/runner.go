@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+
+	"phirel/internal/state"
+)
+
+// Outcome is the end-to-end classification of one run, shared vocabulary of
+// both campaigns (paper §2.1).
+type Outcome int
+
+const (
+	// Masked: the run completed and the output is bit-identical to golden.
+	Masked Outcome = iota
+	// SDC: the run completed with any output mismatch (paper's baseline
+	// definition; tolerance-relaxed variants are derived in analysis).
+	SDC
+	// DUECrash: the program aborted (index out of range, invariant panic) —
+	// the supervisor's "program crash" DUE.
+	DUECrash
+	// DUEHang: the deterministic watchdog expired — CAROL-FI's
+	// kill-after-time-limit DUE.
+	DUEHang
+	// DUEMCA: beam mode only — the simulated Machine Check Architecture
+	// detected an uncorrectable (double-bit) ECC error and killed the run.
+	DUEMCA
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "Masked"
+	case SDC:
+		return "SDC"
+	case DUECrash:
+		return "DUE-crash"
+	case DUEHang:
+		return "DUE-hang"
+	case DUEMCA:
+		return "DUE-mca"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// IsDUE reports whether the outcome is any detected unrecoverable error.
+func (o Outcome) IsDUE() bool { return o == DUECrash || o == DUEHang || o == DUEMCA }
+
+// Status is the mechanical termination state of a run, before output
+// comparison refines Completed into Masked/SDC.
+type Status int
+
+const (
+	Completed Status = iota
+	Crashed
+	Hung
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Completed:
+		return "completed"
+	case Crashed:
+		return "crashed"
+	case Hung:
+		return "hung"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// RawResult is the supervisor's record of one run.
+type RawResult struct {
+	Status   Status
+	PanicMsg string // non-empty for Crashed
+	Ticks    int
+	Work     int64
+	Injected bool
+	Output   Output // valid only when Status == Completed
+}
+
+// Runner supervises repeated runs of one benchmark instance: it performs the
+// golden run once (establishing the reference output, the tick count used
+// for time-window attribution, and the work budget), then executes injected
+// runs.
+type Runner struct {
+	B          Benchmark
+	Golden     Output
+	TotalTicks int
+	GoldenWork int64
+	// BudgetFactor scales the golden work into the watchdog budget
+	// (default 4: generous enough that legitimate perturbed runs finish,
+	// tight enough that corrupted loop bounds trip it quickly).
+	BudgetFactor float64
+}
+
+// NewRunner builds a runner and performs the golden run. It returns an
+// error if the pristine benchmark crashes or produces an empty output,
+// which would indicate a broken workload rather than a fault effect.
+func NewRunner(b Benchmark) (*Runner, error) {
+	r := &Runner{B: b, BudgetFactor: 4}
+	res := r.run(-1, nil, 0)
+	if res.Status != Completed {
+		return nil, fmt.Errorf("bench: golden run of %s did not complete: %s %s", b.Name(), res.Status, res.PanicMsg)
+	}
+	if len(res.Output.Vals) == 0 {
+		return nil, fmt.Errorf("bench: golden run of %s produced empty output", b.Name())
+	}
+	if res.Ticks == 0 {
+		return nil, fmt.Errorf("bench: %s never called Tick; time-window attribution impossible", b.Name())
+	}
+	r.Golden = res.Output.Clone()
+	r.TotalTicks = res.Ticks
+	r.GoldenWork = res.Work
+	return r, nil
+}
+
+// Budget returns the watchdog budget for injected runs.
+func (r *Runner) Budget() int64 {
+	return int64(r.BudgetFactor*float64(r.GoldenWork)) + 1024
+}
+
+// Window maps an injection tick to a time-window index in
+// [0, B.Windows()) — the x-axis of Figure 6.
+func (r *Runner) Window(tick int) int {
+	w := r.B.Windows()
+	if tick < 0 {
+		return 0
+	}
+	if tick >= r.TotalTicks {
+		return w - 1
+	}
+	return tick * w / r.TotalTicks
+}
+
+// WindowBounds returns the tick interval [lo,hi) of window w.
+func (r *Runner) WindowBounds(w int) (lo, hi int) {
+	n := r.B.Windows()
+	lo = w * r.TotalTicks / n
+	hi = (w + 1) * r.TotalTicks / n
+	return
+}
+
+// RunGolden re-executes the pristine benchmark (used by tests to check
+// determinism).
+func (r *Runner) RunGolden() RawResult { return r.run(-1, nil, 0) }
+
+// RunInjected executes one run with the inject callback fired at the given
+// tick. The callback runs with the benchmark quiescent and typically
+// corrupts one registry site.
+func (r *Runner) RunInjected(tick int, inject func()) RawResult {
+	return r.run(tick, inject, r.Budget())
+}
+
+func (r *Runner) run(tick int, inject func(), budget int64) (res RawResult) {
+	r.B.Reset()
+	ctx := newCtx(tick, inject, budget)
+	defer func() {
+		res.Ticks = ctx.Ticks()
+		res.Work = ctx.WorkDone()
+		res.Injected = ctx.Injected()
+		if rec := recover(); rec != nil {
+			// A mid-run abort may leave phase frames pushed; drop them so
+			// the registry is sane for the next run.
+			r.B.Registry().PopAll()
+			if cp, ok := rec.(capturedPanic); ok {
+				rec = cp.val
+			}
+			if wf, ok := rec.(watchdogFired); ok {
+				res.Status = Hung
+				res.PanicMsg = wf.String()
+				return
+			}
+			res.Status = Crashed
+			res.PanicMsg = fmt.Sprint(rec)
+			return
+		}
+		res.Status = Completed
+		res.Output = r.B.Output()
+	}()
+	r.B.Run(ctx)
+	return
+}
+
+// CompareExact reports whether two outputs are bitwise identical (NaN
+// compares equal to NaN: an output that reproduces golden's NaNs is not a
+// mismatch). It is the harness-level Masked/SDC discriminator; richer
+// comparison lives in internal/analysis.
+func CompareExact(golden, got Output) bool {
+	if len(golden.Vals) != len(got.Vals) {
+		return false
+	}
+	for i, g := range golden.Vals {
+		v := got.Vals[i]
+		if g != v && !(g != g && v != v) { // NaN != NaN, so g!=g means g is NaN
+			return false
+		}
+	}
+	return true
+}
+
+// OutputShape is a convenience accessor used by analysis when only the
+// shape matters.
+func OutputShape(o Output) state.Dims { return o.Shape }

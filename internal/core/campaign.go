@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"phirel/internal/bench"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+// OutcomeCounts tallies run classifications.
+type OutcomeCounts struct {
+	Masked, SDC, DUECrash, DUEHang, DUEMCA int
+}
+
+// Add folds one outcome into the tally.
+func (c *OutcomeCounts) Add(o bench.Outcome) {
+	switch o {
+	case bench.Masked:
+		c.Masked++
+	case bench.SDC:
+		c.SDC++
+	case bench.DUECrash:
+		c.DUECrash++
+	case bench.DUEHang:
+		c.DUEHang++
+	case bench.DUEMCA:
+		c.DUEMCA++
+	}
+}
+
+// Merge folds another tally into c.
+func (c *OutcomeCounts) Merge(o OutcomeCounts) {
+	c.Masked += o.Masked
+	c.SDC += o.SDC
+	c.DUECrash += o.DUECrash
+	c.DUEHang += o.DUEHang
+	c.DUEMCA += o.DUEMCA
+}
+
+// DUE returns all detected-unrecoverable outcomes.
+func (c OutcomeCounts) DUE() int { return c.DUECrash + c.DUEHang + c.DUEMCA }
+
+// Total returns the tally size.
+func (c OutcomeCounts) Total() int { return c.Masked + c.SDC + c.DUE() }
+
+// SDCPVF returns the SDC program vulnerability factor with its CI.
+func (c OutcomeCounts) SDCPVF() stats.Proportion { return stats.NewProportion(c.SDC, c.Total()) }
+
+// DUEPVF returns the DUE program vulnerability factor with its CI.
+func (c OutcomeCounts) DUEPVF() stats.Proportion { return stats.NewProportion(c.DUE(), c.Total()) }
+
+// MaskedShare returns the masked fraction with its CI.
+func (c OutcomeCounts) MaskedShare() stats.Proportion {
+	return stats.NewProportion(c.Masked, c.Total())
+}
+
+// CampaignConfig parameterises a fault-injection campaign.
+type CampaignConfig struct {
+	// Benchmark is the registered workload name.
+	Benchmark string
+	// N is the number of injections (the paper uses >=10,000 per
+	// benchmark for ±1.96% error bars at 95% confidence).
+	N int
+	// Models to cycle through (defaults to all four).
+	Models []fault.Model
+	// Policy selects victims (the zero value is ByFrameThenVariable, the
+	// literal CAROL-FI procedure).
+	Policy state.Policy
+	// Seed determinises the whole campaign.
+	Seed uint64
+	// BenchSeed determinises workload inputs.
+	BenchSeed uint64
+	// Workers is the number of parallel injectors (each gets its own
+	// benchmark instance). Results are independent of Workers.
+	Workers int
+	// KeepRecords retains every InjectionRecord (memory-heavy for large N).
+	KeepRecords bool
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Benchmark string
+	N         int
+	Windows   int
+	Policy    state.Policy
+
+	Outcomes OutcomeCounts
+	ByModel  map[fault.Model]OutcomeCounts
+	ByWindow []OutcomeCounts
+	ByRegion map[state.Region]OutcomeCounts
+
+	// FiredShare is the fraction of injections whose corruption actually
+	// materialised (armed corruptions on dead variables never fire).
+	FiredShare stats.Proportion
+
+	Records []InjectionRecord
+}
+
+// RunCampaign executes cfg.N injection experiments. Every experiment i uses
+// an RNG stream derived from (cfg.Seed, i), so results are bit-identical for
+// any worker count.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: campaign needs N > 0")
+	}
+	models := cfg.Models
+	if len(models) == 0 {
+		models = fault.Models
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+
+	// Probe instance for metadata (and to fail fast on a bad name).
+	probe, err := NewInjector(cfg.Benchmark, cfg.BenchSeed, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	windows := probe.Bench.Windows()
+
+	records := make([]InjectionRecord, cfg.N)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			inj := probe
+			if w != 0 {
+				var err error
+				inj, err = NewInjector(cfg.Benchmark, cfg.BenchSeed, cfg.Policy)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			for i := w; i < cfg.N; i += workers {
+				seed := cfg.Seed
+				rng := stats.NewRNG(mix(seed, uint64(i)))
+				rec := inj.InjectOne(models[i%len(models)], rng)
+				rec.Seq = i
+				records[i] = rec
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &CampaignResult{
+		Benchmark: cfg.Benchmark,
+		N:         cfg.N,
+		Windows:   windows,
+		Policy:    cfg.Policy,
+		ByModel:   map[fault.Model]OutcomeCounts{},
+		ByWindow:  make([]OutcomeCounts, windows),
+		ByRegion:  map[state.Region]OutcomeCounts{},
+	}
+	fired := 0
+	for _, rec := range records {
+		o := rec.OutcomeOf()
+		res.Outcomes.Add(o)
+		mc := res.ByModel[rec.ModelOf()]
+		mc.Add(o)
+		res.ByModel[rec.ModelOf()] = mc
+		if rec.Window >= 0 && rec.Window < windows {
+			res.ByWindow[rec.Window].Add(o)
+		}
+		rc := res.ByRegion[rec.Region]
+		rc.Add(o)
+		res.ByRegion[rec.Region] = rc
+		if rec.Fired {
+			fired++
+		}
+	}
+	res.FiredShare = stats.NewProportion(fired, cfg.N)
+	if cfg.KeepRecords {
+		res.Records = records
+	}
+	return res, nil
+}
+
+// mix derives a per-injection seed from the campaign seed and index.
+func mix(seed, i uint64) uint64 {
+	x := seed ^ (i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}

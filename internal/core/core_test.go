@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+
+	"phirel/internal/bench"
+	_ "phirel/internal/bench/all"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+func TestOutcomeCounts(t *testing.T) {
+	var c OutcomeCounts
+	for _, o := range []bench.Outcome{bench.Masked, bench.Masked, bench.SDC,
+		bench.DUECrash, bench.DUEHang, bench.DUEMCA} {
+		c.Add(o)
+	}
+	if c.Total() != 6 || c.DUE() != 3 || c.Masked != 2 || c.SDC != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if c.SDCPVF().P != 1.0/6 || c.DUEPVF().P != 0.5 {
+		t.Fatal("PVFs")
+	}
+	var d OutcomeCounts
+	d.Merge(c)
+	if d.Total() != 6 {
+		t.Fatal("merge")
+	}
+}
+
+func TestInjectorSingleExperiment(t *testing.T) {
+	inj, err := NewInjector("DGEMM", 1, state.ByBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	rec := inj.InjectOne(fault.Random, rng)
+	if rec.Benchmark != "DGEMM" || rec.Model != "Random" {
+		t.Fatalf("record metadata: %+v", rec)
+	}
+	if rec.Site == "" {
+		t.Fatal("no site picked")
+	}
+	if rec.Window < 0 || rec.Window >= inj.Bench.Windows() {
+		t.Fatalf("window %d out of range", rec.Window)
+	}
+	if rec.Outcome == "" || rec.Pattern == "" {
+		t.Fatal("outcome/pattern empty")
+	}
+}
+
+func TestInjectorUnknownBenchmark(t *testing.T) {
+	if _, err := NewInjector("Nope", 1, state.ByBytes); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *CampaignResult {
+		res, err := RunCampaign(CampaignConfig{
+			Benchmark: "DGEMM", N: 60, Seed: 42, BenchSeed: 1,
+			Workers: workers, KeepRecords: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(1)
+	b := run(4)
+	if a.Outcomes != b.Outcomes {
+		t.Fatalf("outcomes differ across worker counts: %+v vs %+v", a.Outcomes, b.Outcomes)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestCampaignAccounting(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{
+		Benchmark: "DGEMM", N: 80, Seed: 9, BenchSeed: 2, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes.Total() != 80 {
+		t.Fatalf("total %d != N", res.Outcomes.Total())
+	}
+	modelTotal := 0
+	for _, m := range fault.Models {
+		modelTotal += res.ByModel[m].Total()
+	}
+	if modelTotal != 80 {
+		t.Fatalf("model partition sums to %d", modelTotal)
+	}
+	windowTotal := 0
+	for _, w := range res.ByWindow {
+		windowTotal += w.Total()
+	}
+	if windowTotal != 80 {
+		t.Fatalf("window partition sums to %d", windowTotal)
+	}
+	regionTotal := 0
+	for _, r := range res.ByRegion {
+		regionTotal += r.Total()
+	}
+	if regionTotal != 80 {
+		t.Fatalf("region partition sums to %d", regionTotal)
+	}
+	if len(res.ByWindow) != 5 {
+		t.Fatalf("DGEMM windows = %d", len(res.ByWindow))
+	}
+	if res.Records != nil {
+		t.Fatal("records kept without KeepRecords")
+	}
+}
+
+func TestCampaignModelsRoundRobin(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{
+		Benchmark: "DGEMM", N: 40, Seed: 3, BenchSeed: 1, Workers: 2,
+		Models: []fault.Model{fault.Zero},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByModel[fault.Zero].Total() != 40 {
+		t.Fatal("model restriction ignored")
+	}
+	if res.ByModel[fault.Single].Total() != 0 {
+		t.Fatal("unexpected model present")
+	}
+}
+
+func TestCampaignProducesHarmAndMasking(t *testing.T) {
+	// A sanity check of the whole pipeline: a few hundred injections into
+	// DGEMM must produce all three outcome classes (paper Fig. 4 shows
+	// DGEMM at roughly 40% masked / 35% SDC / 25% DUE).
+	res, err := RunCampaign(CampaignConfig{
+		Benchmark: "DGEMM", N: 300, Seed: 5, BenchSeed: 1, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes.Masked == 0 {
+		t.Fatal("no masked runs")
+	}
+	if res.Outcomes.SDC == 0 {
+		t.Fatal("no SDCs")
+	}
+	if res.Outcomes.DUE() == 0 {
+		t.Fatal("no DUEs")
+	}
+}
+
+func TestCampaignInvalidConfig(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{Benchmark: "DGEMM", N: 0}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	if _, err := RunCampaign(CampaignConfig{Benchmark: "Ghost", N: 5}); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+func TestCriticalityRanking(t *testing.T) {
+	res := &CampaignResult{
+		ByRegion: map[state.Region]OutcomeCounts{
+			"matrix":  {Masked: 40, SDC: 50, DUECrash: 10},
+			"control": {Masked: 20, SDC: 30, DUECrash: 50},
+			"rare":    {Masked: 1},
+		},
+	}
+	crit := res.Criticality(10)
+	if len(crit) != 2 {
+		t.Fatalf("criticality entries: %d", len(crit))
+	}
+	if crit[0].Region != "control" {
+		t.Fatalf("most critical = %s, want control (80%% harmful)", crit[0].Region)
+	}
+	if crit[0].Harmful.P != 0.8 || crit[1].Harmful.P != 0.6 {
+		t.Fatalf("harmful rates: %v %v", crit[0].Harmful.P, crit[1].Harmful.P)
+	}
+}
+
+func TestRecommendations(t *testing.T) {
+	res := &CampaignResult{
+		ByRegion: map[state.Region]OutcomeCounts{
+			"control":  {Masked: 20, SDC: 30, DUECrash: 50},
+			"matrix":   {Masked: 40, SDC: 50, DUECrash: 10},
+			"mystery":  {Masked: 30, SDC: 40, DUECrash: 5},
+			"harmless": {Masked: 99, SDC: 1},
+		},
+	}
+	recs := res.Recommend(10)
+	if len(recs) < 2 {
+		t.Fatalf("recommendations: %v", recs)
+	}
+	if recs[0].Region != "control" || recs[0].Technique == "" {
+		t.Fatalf("first recommendation: %+v", recs[0])
+	}
+	// Unknown region gets the generic fallback.
+	foundGeneric := false
+	for _, r := range recs {
+		if r.Region == "mystery" && r.Technique == genericAdvice.Technique {
+			foundGeneric = true
+		}
+		if r.Region == "harmless" {
+			t.Fatal("harmless region recommended")
+		}
+	}
+	if !foundGeneric {
+		t.Fatal("generic advice not applied to unknown region")
+	}
+}
+
+func TestRecordParsers(t *testing.T) {
+	rec := InjectionRecord{Outcome: "DUE-hang", Model: "Double", Pattern: "Square"}
+	if rec.OutcomeOf() != bench.DUEHang {
+		t.Fatal("outcome parse")
+	}
+	if rec.ModelOf() != fault.Double {
+		t.Fatal("model parse")
+	}
+	if rec.PatternOf().String() != "Square" {
+		t.Fatal("pattern parse")
+	}
+	bad := InjectionRecord{Outcome: "???", Model: "???", Pattern: "???"}
+	if bad.OutcomeOf() != bench.Masked || bad.ModelOf() != fault.Single {
+		t.Fatal("fallback parses")
+	}
+}
+
+// Every benchmark must survive a small end-to-end campaign.
+func TestCampaignAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCampaign(CampaignConfig{
+				Benchmark: name, N: 24, Seed: 11, BenchSeed: 1, Workers: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outcomes.Total() != 24 {
+				t.Fatalf("total %d", res.Outcomes.Total())
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sort"
+
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+// RegionCriticality ranks one code region by its conditional outcome rates,
+// the quantity behind the paper's per-benchmark §6 analysis ("Faults
+// injected in the matrices caused SDCs and DUEs 43% and 19% of the times").
+type RegionCriticality struct {
+	Region     state.Region
+	Injections int
+	SDC        stats.Proportion
+	DUE        stats.Proportion
+	// Harmful is SDC+DUE combined — the ranking key.
+	Harmful stats.Proportion
+}
+
+// Criticality derives the ranked region table from a campaign, most
+// critical first. Regions with fewer than minInjections samples are
+// dropped (their CIs would be vacuous).
+func (r *CampaignResult) Criticality(minInjections int) []RegionCriticality {
+	var out []RegionCriticality
+	for region, counts := range r.ByRegion {
+		if region == "" || counts.Total() < minInjections {
+			continue
+		}
+		n := counts.Total()
+		out = append(out, RegionCriticality{
+			Region:     region,
+			Injections: n,
+			SDC:        stats.NewProportion(counts.SDC, n),
+			DUE:        stats.NewProportion(counts.DUE(), n),
+			Harmful:    stats.NewProportion(counts.SDC+counts.DUE(), n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Harmful.P != out[j].Harmful.P {
+			return out[i].Harmful.P > out[j].Harmful.P
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// Recommendation pairs a region with the mitigation guidance the paper's
+// §6.1 discussion derives for it.
+type Recommendation struct {
+	Region    state.Region
+	Technique string
+	Rationale string
+}
+
+// regionAdvice maps region families to the paper's mitigation catalogue.
+// Matching is by exact region name; unknown regions get the generic advice.
+var regionAdvice = map[state.Region]Recommendation{
+	"control": {
+		Technique: "selective duplication with comparison (DWC) on control variables",
+		Rationale: "small footprint, high DUE share; full ECC is overkill where a few cells dominate harm (paper §6 DGEMM)",
+	},
+	"constant": {
+		Technique: "replicate constant cells and vote on read",
+		Rationale: "constants are written once and read hot, so cheap replication removes most of their PVF (paper §6 HotSpot)",
+	},
+	"matrix": {
+		Technique: "algorithm-based fault tolerance (ABFT) checksums or residue (mod-3/mod-15) checks",
+		Rationale: "algebraic kernels can verify linear identities in O(n²); ABFT corrects single/line/random patterns in O(1) (paper §4.3, §6.1)",
+	},
+	"temp": {
+		Technique: "recompute-on-mismatch for block temporaries",
+		Rationale: "temporaries are cheap to regenerate from their source blocks (paper §6 LUD)",
+	},
+	"mesh.sort": {
+		Technique: "single-element sort correction plus order verification",
+		Rationale: "sorted-order invariants are O(n) to check and Sort has CLAMR's highest criticality (paper §6 CLAMR, ref [1])",
+	},
+	"mesh.tree": {
+		Technique: "redundant multithreading for tree build and bounded traversal guards",
+		Rationale: "tree faults are DUE-heavy; verified rebuilds cut checkpoint pressure (paper §6 CLAMR)",
+	},
+	"mesh.other": {
+		Technique: "exploit algorithmic attenuation; checkpoint less often",
+		Rationale: "stencil-like state self-heals under iteration, so tolerate-and-continue beats heavy protection (paper §6 HotSpot/CLAMR)",
+	},
+	"charge": {
+		Technique: "checkpointing or modular replication",
+		Rationale: "huge read-only inputs where any element matters leave no cheap selective option (paper §6 LavaMD)",
+	},
+	"distance": {
+		Technique: "checkpointing or modular replication",
+		Rationale: "same exposure as the charge array (paper §6 LavaMD)",
+	},
+	"output": {
+		Technique: "parity over output buffers",
+		Rationale: "detect-late is acceptable for write-mostly results",
+	},
+	"box": {
+		Technique: "bounds-check neighbour indices before use",
+		Rationale: "index tables convert single flips into wild accesses; cheap validation converts SDC into contained DUE",
+	},
+}
+
+// genericAdvice covers regions without a specific entry.
+var genericAdvice = Recommendation{
+	Technique: "duplication with comparison or checkpoint/restart",
+	Rationale: "no structure to exploit; generic redundancy is the fallback the paper reaches for (paper §6 LavaMD/NW)",
+}
+
+// Recommend produces mitigation guidance for the campaign's most critical
+// regions (those whose harmful rate is at least half the top region's).
+func (r *CampaignResult) Recommend(minInjections int) []Recommendation {
+	crit := r.Criticality(minInjections)
+	if len(crit) == 0 {
+		return nil
+	}
+	cut := crit[0].Harmful.P / 2
+	var out []Recommendation
+	for _, c := range crit {
+		if c.Harmful.P < cut {
+			break
+		}
+		adv, ok := regionAdvice[c.Region]
+		if !ok {
+			adv = genericAdvice
+		}
+		adv.Region = c.Region
+		out = append(out, adv)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"phirel/internal/analysis"
+	"phirel/internal/bench"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+// DefaultArmDelayMax bounds the load-count delay sampled for armed scalar
+// corruptions. Hot loop variables are loaded thousands of times per tick,
+// so a uniform delay in [0, 1024) lands the flip mid-loop almost always;
+// cooler variables may see the delay expire in a later tick or never —
+// the dead-variable masking CAROL-FI also observes.
+const DefaultArmDelayMax = 1024
+
+// Injector runs injection experiments against one benchmark instance.
+// It is not safe for concurrent use; campaigns shard across injectors.
+type Injector struct {
+	Bench  bench.Benchmark
+	Runner *bench.Runner
+	// Policy selects victims among live sites (zero value: frame-then-variable).
+	Policy state.Policy
+	// ArmDelayMax bounds scalar arming delays (default DefaultArmDelayMax).
+	ArmDelayMax int
+}
+
+// NewInjector constructs the benchmark, performs its golden run and returns
+// a ready injector.
+func NewInjector(benchmark string, benchSeed uint64, policy state.Policy) (*Injector, error) {
+	b, err := bench.New(benchmark, benchSeed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := bench.NewRunner(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: golden run failed: %w", err)
+	}
+	return &Injector{Bench: b, Runner: r, Policy: policy, ArmDelayMax: DefaultArmDelayMax}, nil
+}
+
+// InjectOne performs a single experiment with the given fault model, using
+// rng for every random choice (interrupt tick, victim, bits, arm delay).
+func (in *Injector) InjectOne(m fault.Model, rng *stats.RNG) InjectionRecord {
+	tick := rng.Intn(in.Runner.TotalTicks)
+	rec := InjectionRecord{
+		Benchmark: in.Bench.Name(),
+		Model:     m.String(),
+		Policy:    in.Policy.String(),
+		Tick:      tick,
+		Window:    in.Runner.Window(tick),
+	}
+	var (
+		rep      state.Report
+		deferred *state.Deferred
+		fired    bool
+	)
+	res := in.Runner.RunInjected(tick, func() {
+		site := in.Bench.Registry().Pick(rng, in.Policy)
+		if site == nil {
+			return
+		}
+		rec.Site = site.Name()
+		rec.Region = site.Region()
+		rec.Kind = site.Kind().String()
+		if a, ok := site.(state.Armable); ok {
+			max := in.ArmDelayMax
+			if max <= 0 {
+				max = DefaultArmDelayMax
+			}
+			// A quarter of interrupts land immediately before the victim's
+			// next use (live window), the rest uniformly across its next
+			// `max` uses; cold variables whose remaining uses run out stay
+			// uncorrupted — the dead-variable masking of the real tool.
+			delay := 0
+			if rng.Bernoulli(0.75) {
+				delay = rng.Intn(max)
+			}
+			deferred = a.Arm(delay, m, rng.Split())
+		} else {
+			rep = site.Corrupt(rng, m)
+			fired = true
+		}
+	})
+	if deferred != nil && deferred.Fired {
+		rep = deferred.Report
+		fired = true
+	}
+	rec.Fired = fired
+	if fired {
+		rec.Elem = rep.Elem
+		rec.BitsChanged = rep.BitsChanged
+		rec.Before = rep.Before
+		rec.After = rep.After
+	} else {
+		rec.Elem = -1
+	}
+	rec.PanicMsg = res.PanicMsg
+
+	switch res.Status {
+	case bench.Crashed:
+		rec.Outcome = bench.DUECrash.String()
+		rec.Pattern = analysis.PatternNone.String()
+	case bench.Hung:
+		rec.Outcome = bench.DUEHang.String()
+		rec.Pattern = analysis.PatternNone.String()
+	default:
+		ms := analysis.Compare(in.Runner.Golden, res.Output)
+		if len(ms) == 0 {
+			rec.Outcome = bench.Masked.String()
+			rec.Pattern = analysis.PatternNone.String()
+		} else {
+			rec.Outcome = bench.SDC.String()
+			rec.Pattern = analysis.Classify(ms, in.Runner.Golden.Shape).String()
+			rec.MaxRelErr = analysis.FiniteRelErr(analysis.MaxRelErr(ms))
+			rec.CorruptedElems = len(ms)
+		}
+	}
+	return rec
+}

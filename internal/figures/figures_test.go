@@ -1,0 +1,100 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"phirel/internal/beam"
+	"phirel/internal/core"
+	"phirel/internal/state"
+)
+
+// tiny returns a scale small enough for unit tests.
+func tiny() Scale {
+	return Scale{BeamRuns: 400, Injections: 48, Workers: 4, Seed: 5, BenchSeed: 1}
+}
+
+func TestBeamFiguresEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results, err := BeamResults(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := Figure2(results).String()
+	for _, name := range []string{"CLAMR", "DGEMM", "HotSpot", "LavaMD", "LUD"} {
+		if !strings.Contains(f2, name) {
+			t.Fatalf("Figure 2 missing %s:\n%s", name, f2)
+		}
+	}
+	f3 := Figure3(results).String()
+	if !strings.Contains(f3, "0.1%") || !strings.Contains(f3, "15.0%") {
+		t.Fatalf("Figure 3 tolerance columns missing:\n%s", f3)
+	}
+	t2 := Table2(results).String()
+	if !strings.Contains(t2, "Trinity") {
+		t.Fatalf("Table 2 missing extrapolation:\n%s", t2)
+	}
+}
+
+func TestCampaignFiguresEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results, err := CampaignResults(tiny(), state.ByFrameThenVariable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4 := Figure4(results).String()
+	if !strings.Contains(f4, "NW") || !strings.Contains(f4, "Masked") {
+		t.Fatalf("Figure 4:\n%s", f4)
+	}
+	f5a := Figure5(results, false).String()
+	if !strings.Contains(f5a, "Zero") || !strings.Contains(f5a, "5a") {
+		t.Fatalf("Figure 5a:\n%s", f5a)
+	}
+	f5b := Figure5(results, true).String()
+	if !strings.Contains(f5b, "5b") {
+		t.Fatalf("Figure 5b:\n%s", f5b)
+	}
+	f6a := Figure6(results, false).String()
+	if !strings.Contains(f6a, "W9") {
+		t.Fatalf("Figure 6a should span 9 windows (CLAMR):\n%s", f6a)
+	}
+	// LUD has 4 windows → dashes beyond W4.
+	for _, line := range strings.Split(f6a, "\n") {
+		if strings.HasPrefix(line, "LUD") && !strings.Contains(line, "-") {
+			t.Fatalf("LUD row should pad missing windows:\n%s", line)
+		}
+	}
+	t1 := Table1(results["DGEMM"], 1).String()
+	if !strings.Contains(t1, "control") && !strings.Contains(t1, "matrix") {
+		t.Fatalf("Table 1 regions missing:\n%s", t1)
+	}
+	rec := Recommendations(results["DGEMM"], 1).String()
+	if len(rec) == 0 {
+		t.Fatal("no recommendations")
+	}
+}
+
+func TestFigure2HandlesMissing(t *testing.T) {
+	tbl := Figure2(map[string]*beam.Result{})
+	if len(tbl.Rows) != 0 {
+		t.Fatal("rows for missing results")
+	}
+	f4 := Figure4(map[string]*core.CampaignResult{})
+	if len(f4.Rows) != 0 {
+		t.Fatal("rows for missing campaigns")
+	}
+}
+
+func TestScales(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.BeamRuns >= f.BeamRuns || q.Injections >= f.Injections {
+		t.Fatal("Quick must be smaller than Full")
+	}
+	if f.Injections < 10000 {
+		t.Fatal("Full must reach the paper's 10,000 injections")
+	}
+}

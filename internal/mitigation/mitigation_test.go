@@ -1,0 +1,313 @@
+package mitigation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phirel/internal/core"
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+func randMatrix(r *stats.RNG, n int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = 2*r.Float64() - 1
+	}
+	return m
+}
+
+func TestABFTCleanMatrixOK(t *testing.T) {
+	r := stats.NewRNG(1)
+	m := NewABFT(randMatrix(r, 8), 8)
+	if v := m.Check(1e-9); v != OK {
+		t.Fatalf("clean matrix verdict %v", v)
+	}
+}
+
+func TestABFTSingleErrorCorrected(t *testing.T) {
+	r := stats.NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		data := randMatrix(r, 8)
+		m := NewABFT(data, 8)
+		idx := r.Intn(64)
+		orig := m.Data[idx]
+		m.Data[idx] += 5 + r.Float64()
+		if v := m.Check(1e-9); v != Corrected {
+			t.Fatalf("verdict %v for single error", v)
+		}
+		if math.Abs(m.Data[idx]-orig) > 1e-9 {
+			t.Fatalf("correction wrong: %v want %v", m.Data[idx], orig)
+		}
+		if v := m.Check(1e-9); v != OK {
+			t.Fatal("matrix not clean after correction")
+		}
+	}
+}
+
+// Property: any single corruption anywhere is corrected exactly.
+func TestABFTSingleCorrectionQuick(t *testing.T) {
+	r := stats.NewRNG(3)
+	f := func(idxRaw uint16, deltaRaw int8) bool {
+		if deltaRaw == 0 {
+			return true
+		}
+		n := 6
+		m := NewABFT(randMatrix(r, n), n)
+		idx := int(idxRaw) % (n * n)
+		orig := m.Data[idx]
+		m.Data[idx] += float64(deltaRaw)
+		return m.Check(1e-9) == Corrected && math.Abs(m.Data[idx]-orig) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestABFTLineErrorDetected(t *testing.T) {
+	r := stats.NewRNG(4)
+	m := NewABFT(randMatrix(r, 8), 8)
+	for j := 0; j < 5; j++ {
+		m.Data[3*8+j] += 1 // corrupt part of row 3
+	}
+	if v := m.Check(1e-9); v != Detected {
+		t.Fatalf("line error verdict %v", v)
+	}
+}
+
+func TestABFTNaNDetected(t *testing.T) {
+	r := stats.NewRNG(5)
+	m := NewABFT(randMatrix(r, 8), 8)
+	m.Data[9] = math.NaN()
+	if v := m.Check(1e-9); v == OK {
+		t.Fatal("NaN passed verification")
+	}
+}
+
+func TestABFTMatMul(t *testing.T) {
+	r := stats.NewRNG(6)
+	n := 8
+	a, b := randMatrix(r, n), randMatrix(r, n)
+	m := ABFTMatMul(a, b, n)
+	if v := m.Check(1e-9); v != OK {
+		t.Fatalf("fresh product verdict %v", v)
+	}
+	// Sanity: element (0,0) equals the dot product.
+	dot := 0.0
+	for k := 0; k < n; k++ {
+		dot += a[k] * b[k*n]
+	}
+	if math.Abs(m.Data[0]-dot) > 1e-9 {
+		t.Fatal("product wrong")
+	}
+}
+
+func TestResidueHomomorphismQuick(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		for _, r := range []Residue{Mod3, Mod15} {
+			if !r.CheckAdd(x, y, x+y) || !r.CheckMul(x, y, x*y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidueDetectsCorruption(t *testing.T) {
+	// mod 15 misses corruptions that are multiples of 15; a flipped low bit
+	// is always caught.
+	if Mod15.CheckAdd(10, 5, 15+1) {
+		t.Fatal("mod15 missed +1 corruption")
+	}
+	if !Mod15.CheckAdd(10, 5, 15) {
+		t.Fatal("mod15 rejected correct sum")
+	}
+	if Mod3.Of(-7) != 2 {
+		t.Fatalf("canonical residue of -7 mod 3 = %d", Mod3.Of(-7))
+	}
+}
+
+func TestResidueVerifyIntMatMul(t *testing.T) {
+	r := stats.NewRNG(7)
+	n := 6
+	a := make([]int64, n*n)
+	b := make([]int64, n*n)
+	for i := range a {
+		a[i] = int64(r.Intn(100)) - 50
+		b[i] = int64(r.Intn(100)) - 50
+	}
+	c := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				c[i*n+j] += a[i*n+k] * b[k*n+j]
+			}
+		}
+	}
+	if bad := Mod15.VerifyIntMatMul(a, b, c, n); bad != -1 {
+		t.Fatalf("clean product flagged at %d", bad)
+	}
+	c[17] += 1
+	if bad := Mod15.VerifyIntMatMul(a, b, c, n); bad != 17 {
+		t.Fatalf("corruption located at %d, want 17", bad)
+	}
+}
+
+func TestDWC(t *testing.T) {
+	c := NewDWCInt(42)
+	if v, ok := c.Load(); v != 42 || !ok {
+		t.Fatal("clean load")
+	}
+	c.CorruptPrimary(1 << 7)
+	if _, ok := c.Load(); ok {
+		t.Fatal("corruption not detected")
+	}
+	c.Store(10)
+	if v, ok := c.Load(); v != 10 || !ok {
+		t.Fatal("store did not heal")
+	}
+}
+
+func TestTMR(t *testing.T) {
+	c := NewTMRInt(9)
+	if v, rep, ok := c.Load(); v != 9 || rep || !ok {
+		t.Fatal("clean load")
+	}
+	c.Corrupt(1, 0xff)
+	v, rep, ok := c.Load()
+	if v != 9 || !rep || !ok {
+		t.Fatalf("single corruption not repaired: v=%d rep=%v ok=%v", v, rep, ok)
+	}
+	if _, rep, _ = c.Load(); rep {
+		t.Fatal("repair did not persist")
+	}
+	c.Corrupt(0, 1)
+	c.Corrupt(1, 2)
+	c.Corrupt(2, 4)
+	if _, _, ok := c.Load(); ok {
+		t.Fatal("triple disagreement reported ok")
+	}
+}
+
+func TestParityWords(t *testing.T) {
+	words := []uint64{0, 0xff, 0xdeadbeef}
+	p := NewParityWords(words)
+	if bad := p.Verify(); bad != nil {
+		t.Fatalf("clean verify: %v", bad)
+	}
+	words[1] ^= 1 << 3 // single flip: parity catches
+	if bad := p.Verify(); len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("verify: %v", bad)
+	}
+	words[1] ^= 1 << 5 // second flip: even weight escapes (real parity limit)
+	if bad := p.Verify(); len(bad) != 0 {
+		t.Fatalf("double flip should escape parity: %v", bad)
+	}
+}
+
+func TestRunTwice(t *testing.T) {
+	calls := 0
+	out, bad := RunTwice(func() []float64 {
+		calls++
+		return []float64{1, 2, 3}
+	})
+	if bad != -1 || calls != 2 || len(out) != 3 {
+		t.Fatalf("agreeing runs: bad=%d calls=%d", bad, calls)
+	}
+	calls = 0
+	_, bad = RunTwice(func() []float64 {
+		calls++
+		return []float64{1, float64(calls), 3}
+	})
+	if bad != 1 {
+		t.Fatalf("disagreement at %d, want 1", bad)
+	}
+}
+
+func TestCheckpointOptimalInterval(t *testing.T) {
+	c := Checkpointing{DumpHours: 0.1, RestartHours: 0.2, MTBFHours: 20}
+	opt := c.OptimalInterval()
+	if math.Abs(opt-2) > 1e-9 { // sqrt(2*0.1*20) = 2
+		t.Fatalf("optimal interval %v", opt)
+	}
+	// The optimum must beat much shorter and much longer intervals.
+	work := 100.0
+	atOpt := c.ExpectedRuntime(work, opt)
+	if c.ExpectedRuntime(work, opt/8) <= atOpt || c.ExpectedRuntime(work, opt*8) <= atOpt {
+		t.Fatal("Young interval not locally optimal")
+	}
+	if eff := c.Efficiency(work, opt); eff <= 0 || eff >= 1 {
+		t.Fatalf("efficiency %v", eff)
+	}
+}
+
+func TestCheckpointDegenerate(t *testing.T) {
+	c := Checkpointing{DumpHours: 0.1, MTBFHours: math.Inf(1)}
+	if !math.IsInf(c.OptimalInterval(), 1) {
+		t.Fatal("no failures → never checkpoint")
+	}
+	if rt := c.ExpectedRuntime(10, 1); rt != 10+10*0.1 {
+		t.Fatalf("failure-free runtime %v", rt)
+	}
+	if c.ExpectedRuntime(10, 0) != math.Inf(1) {
+		t.Fatal("zero interval")
+	}
+}
+
+func TestFromFIT(t *testing.T) {
+	c := FromFIT(100, 19000, 0.05, 0.1)
+	// 100 FIT × 19000 boards → MTBF = 1e9/(1.9e6) h ≈ 526 h.
+	if math.Abs(c.MTBFHours-1e9/1.9e6) > 1 {
+		t.Fatalf("machine MTBF %v", c.MTBFHours)
+	}
+}
+
+func TestSelectivePlan(t *testing.T) {
+	res := &core.CampaignResult{
+		ByRegion: map[state.Region]core.OutcomeCounts{
+			"control": {Masked: 100, SDC: 150, DUECrash: 250}, // 500 inj, 80% harmful
+			"matrix":  {Masked: 200, SDC: 250, DUECrash: 50},  // 500 inj, 60% harmful
+		},
+	}
+	res.Outcomes = core.OutcomeCounts{Masked: 300, SDC: 400, DUECrash: 300}
+	plan := SelectivePlan(res, 0.25, 10)
+	if len(plan.Entries) == 0 {
+		t.Fatal("empty plan")
+	}
+	if plan.TotalOverhead > 0.25+1e-9 {
+		t.Fatalf("budget exceeded: %v", plan.TotalOverhead)
+	}
+	if plan.HarmAfter >= plan.HarmBefore {
+		t.Fatal("plan removed nothing")
+	}
+	if plan.Improvement() <= 1 {
+		t.Fatalf("improvement %v", plan.Improvement())
+	}
+	// A tighter budget must not remove more harm.
+	tight := SelectivePlan(res, 0.05, 10)
+	if tight.HarmBefore-tight.HarmAfter > plan.HarmBefore-plan.HarmAfter+1e-12 {
+		t.Fatal("tighter budget outperformed larger one")
+	}
+}
+
+func TestSelectivePlanEmptyCampaign(t *testing.T) {
+	res := &core.CampaignResult{ByRegion: map[state.Region]core.OutcomeCounts{}}
+	plan := SelectivePlan(res, 1, 1)
+	if len(plan.Entries) != 0 || plan.Improvement() != 1 {
+		t.Fatal("degenerate plan")
+	}
+}
+
+func TestABFTBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewABFT(make([]float64, 5), 2)
+}

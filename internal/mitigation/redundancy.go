@@ -1,0 +1,165 @@
+package mitigation
+
+import "math"
+
+// Residue is a residue-code checker modulo M (paper §6.1: mod 3 needs two
+// bits, mod 15 needs eight — implementable in hardware beside the ALU).
+// Residues are homomorphic over integer + and ×, so an operation's residue
+// can be verified without repeating it at full width.
+type Residue struct {
+	M int64
+}
+
+// Mod3 and Mod15 are the paper's suggested codes.
+var (
+	Mod3  = Residue{M: 3}
+	Mod15 = Residue{M: 15}
+)
+
+// Of returns the canonical residue of x (non-negative even for negative x).
+func (r Residue) Of(x int64) int64 {
+	v := x % r.M
+	if v < 0 {
+		v += r.M
+	}
+	return v
+}
+
+// CheckAdd verifies sum = a+b via residues.
+func (r Residue) CheckAdd(a, b, sum int64) bool {
+	return r.Of(r.Of(a)+r.Of(b)) == r.Of(sum)
+}
+
+// CheckMul verifies prod = a·b via residues.
+func (r Residue) CheckMul(a, b, prod int64) bool {
+	return r.Of(r.Of(a)*r.Of(b)) == r.Of(prod)
+}
+
+// VerifyIntMatMul re-derives C = A·B entirely in residue arithmetic and
+// reports the first element whose residue disagrees (-1 if consistent).
+func (r Residue) VerifyIntMatMul(a, b, c []int64, n int) int {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc = r.Of(acc + r.Of(a[i*n+k])*r.Of(b[k*n+j]))
+			}
+			if acc != r.Of(c[i*n+j]) {
+				return i*n + j
+			}
+		}
+	}
+	return -1
+}
+
+// DWCInt is a duplicated integer cell: stores two copies, and Load reports
+// disagreement (detection without correction — the paper's "selective
+// duplication with comparison" for control variables).
+type DWCInt struct {
+	a, b int64
+}
+
+// NewDWCInt builds a hardened cell.
+func NewDWCInt(v int) *DWCInt { return &DWCInt{a: int64(v), b: int64(v)} }
+
+// Store writes both copies.
+func (c *DWCInt) Store(v int) { c.a, c.b = int64(v), int64(v) }
+
+// Load returns the value and whether the copies agree.
+func (c *DWCInt) Load() (int, bool) { return int(c.a), c.a == c.b }
+
+// CorruptPrimary damages the primary copy (test/evaluation hook standing in
+// for a fault in the protected variable).
+func (c *DWCInt) CorruptPrimary(bits uint64) { c.a ^= int64(bits) }
+
+// TMRInt is a triplicated integer cell with majority-vote reads.
+type TMRInt struct {
+	v [3]int64
+}
+
+// NewTMRInt builds a hardened cell.
+func NewTMRInt(v int) *TMRInt { return &TMRInt{v: [3]int64{int64(v), int64(v), int64(v)}} }
+
+// Store writes all copies.
+func (c *TMRInt) Store(v int) { c.v = [3]int64{int64(v), int64(v), int64(v)} }
+
+// Load returns the majority value and whether a repair happened; a
+// three-way disagreement returns the first copy and ok=false.
+func (c *TMRInt) Load() (v int, repaired, ok bool) {
+	switch {
+	case c.v[0] == c.v[1] && c.v[1] == c.v[2]:
+		return int(c.v[0]), false, true
+	case c.v[0] == c.v[1]:
+		c.v[2] = c.v[0]
+		return int(c.v[0]), true, true
+	case c.v[0] == c.v[2]:
+		c.v[1] = c.v[0]
+		return int(c.v[0]), true, true
+	case c.v[1] == c.v[2]:
+		c.v[0] = c.v[1]
+		return int(c.v[1]), true, true
+	default:
+		return int(c.v[0]), false, false
+	}
+}
+
+// Corrupt damages one copy.
+func (c *TMRInt) Corrupt(copyIdx int, bits uint64) { c.v[copyIdx%3] ^= int64(bits) }
+
+// ParityWords protects a word buffer with one parity bit per word —
+// detection-only, the cheap option the paper suggests for NW ("a simple
+// parity would detect most SDCs since single faults are more critical").
+type ParityWords struct {
+	words  []uint64
+	parity []bool
+}
+
+// NewParityWords snapshots parity for the given words.
+func NewParityWords(words []uint64) *ParityWords {
+	p := &ParityWords{words: words, parity: make([]bool, len(words))}
+	for i, w := range words {
+		p.parity[i] = parity64(w)
+	}
+	return p
+}
+
+func parity64(w uint64) bool {
+	w ^= w >> 32
+	w ^= w >> 16
+	w ^= w >> 8
+	w ^= w >> 4
+	w ^= w >> 2
+	w ^= w >> 1
+	return w&1 == 1
+}
+
+// Verify returns the indices whose current parity disagrees with the
+// snapshot (all odd-bit-count corruptions; even-bit corruptions escape, as
+// real parity does).
+func (p *ParityWords) Verify() []int {
+	var bad []int
+	for i, w := range p.words {
+		if parity64(w) != p.parity[i] {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// RunTwice executes compute twice and compares outputs element-wise — the
+// redundant-multithreading pattern the paper suggests for CLAMR's critical
+// functions. It returns the first output and the index of the first
+// disagreement (-1 when they agree; NaNs compare equal to themselves).
+func RunTwice(compute func() []float64) ([]float64, int) {
+	a := compute()
+	b := compute()
+	if len(a) != len(b) {
+		return a, 0
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return a, i
+		}
+	}
+	return a, -1
+}

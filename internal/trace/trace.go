@@ -1,0 +1,75 @@
+// Package trace serialises campaign records as JSON Lines, mirroring the
+// paper's public log release (the UFRGS-CAROL sc17-log-data repository):
+// every injection and beam run is one self-describing JSON object, and the
+// report tool re-derives every table from the logs alone.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Writer appends JSONL records to an io.Writer.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w for record appending.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record (any JSON-marshallable value).
+func (w *Writer) Write(rec any) error {
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("trace: encode record %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// WriteAll appends a slice of records.
+func WriteAll[T any](w *Writer, recs []T) error {
+	for i := range recs {
+		if err := w.Write(recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer; call before closing the underlying file.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Read decodes every JSONL record from r into T. Blank lines are skipped;
+// a malformed line aborts with its line number.
+func Read[T any](r io.Reader) ([]T, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []T
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec T
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	X    float64 `json:"x"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []rec{{"a", 1, 0.5}, {"b", 2, -3}, {"c", 3, 0}}
+	if err := WriteAll(w, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count %d", w.Count())
+	}
+	out, err := Read[rec](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("read %d records", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("record %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	out, err := Read[rec](strings.NewReader("{\"name\":\"a\"}\n\n{\"name\":\"b\"}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("records %d", len(out))
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	_, err := Read[rec](strings.NewReader("{\"name\":\"a\"}\nnot-json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	out, err := Read[rec](strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty read: %v %v", out, err)
+	}
+}
