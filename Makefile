@@ -1,0 +1,28 @@
+# Local targets mirror the CI jobs (.github/workflows/ci.yml) one to one,
+# so `make <target>` reproduces exactly what CI runs.
+
+GO ?= go
+
+.PHONY: build test race vet fmt sweep
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checks the concurrent engine and orchestrator packages.
+race:
+	$(GO) test -race ./internal/core/... ./internal/fleet/...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (listing offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Quick-scale fleet sweep: all benchmarks × all four fault models, exported
+# as the same JSON artifact CI uploads.
+sweep:
+	$(GO) run ./cmd/phi-bench -sweep -n 200 -workers 8 -out sweep.json

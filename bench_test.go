@@ -1,5 +1,6 @@
 // Package phirel's root benchmark suite regenerates every table and figure
-// of the paper's evaluation (see DESIGN.md §4 for the experiment index).
+// of the paper's evaluation (the Benchmark* functions below are the
+// experiment index: Figures 2-6, Tables 1-2, and the A1-A3 ablations).
 // Each benchmark runs one Quick-scale campaign per iteration and prints the
 // regenerated rows once, so
 //
@@ -10,6 +11,7 @@
 package phirel_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -19,6 +21,7 @@ import (
 	"phirel/internal/bench/all"
 	"phirel/internal/core"
 	"phirel/internal/figures"
+	"phirel/internal/fleet"
 	"phirel/internal/mitigation"
 	"phirel/internal/state"
 	"phirel/internal/stats"
@@ -133,7 +136,7 @@ func BenchmarkTable2_Extrapolation(b *testing.B) {
 }
 
 // Ablation A1: the CAROL-FI frame-then-variable policy vs physical
-// by-bytes site selection (DESIGN.md §4).
+// by-bytes site selection.
 func BenchmarkAblation_SitePolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, pol := range []state.Policy{state.ByFrameThenVariable, state.ByBytes} {
@@ -218,6 +221,22 @@ func BenchmarkAblation_Mitigation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFleetSweep measures the fleet orchestrator end to end: the full
+// benchmarks × fault-models grid on one shared pool at a small N, the same
+// shape CI's sweep artifact job runs.
+func BenchmarkFleetSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Sweep{N: 8, Seed: 1701, BenchSeed: 1, Workers: 8}.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Fprintf(os.Stderr, "fleet: %d cells, %d benchmarks merged\n",
+				len(res.Cells), len(res.Merged()))
+		}
+	}
 }
 
 // BenchmarkWorkloads measures raw golden-run cost per workload (context for

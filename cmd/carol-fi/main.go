@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"sort"
 
 	"phirel/internal/bench/all"
 	"phirel/internal/core"
@@ -42,50 +44,107 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var models []fault.Model
-	if *modelsArg != "" {
-		for _, s := range strings.Split(*modelsArg, ",") {
-			m, err := fault.ParseModel(strings.TrimSpace(s))
-			if err != nil {
-				fatal(err)
-			}
-			models = append(models, m)
-		}
+	models, err := fault.ParseModels(*modelsArg)
+	if err != nil {
+		fatal(err)
 	}
 	names := all.Suite
 	if *benchName != "all" {
 		names = []string{*benchName}
 	}
 
-	var logw *trace.Writer
+	var (
+		logw *trace.Writer
+		logf *os.File
+	)
 	if *out != "" {
-		f, err := os.Create(*out)
+		logf, err = os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		logw = trace.NewWriter(f)
+		defer logf.Close()
+		logw = trace.NewWriter(logf)
 		defer logw.Flush()
 	}
+	// die flushes the partial log before exiting, so an interrupted or
+	// failed campaign still leaves valid JSONL behind (fatal skips defers).
+	die := func(err error) {
+		if logw != nil {
+			logw.Flush()
+			logf.Close()
+		}
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	results := map[string]*core.CampaignResult{}
 	for _, name := range names {
 		fmt.Fprintf(os.Stderr, "carol-fi: injecting %d faults into %s...\n", *n, name)
-		res, err := core.RunCampaign(core.CampaignConfig{
+		cfg := core.CampaignConfig{
 			Benchmark: name, N: *n, Models: models, Policy: policy,
 			Seed: *seed, BenchSeed: *benchSeed, Workers: *workers,
-			KeepRecords: logw != nil,
-		})
+			Progress: func(done, total int) {
+				if done == total || done%(max(total/10, 1)) == 0 {
+					fmt.Fprintf(os.Stderr, "carol-fi: %s %d/%d\n", name, done, total)
+				}
+			},
+		}
+		// Records stream straight to the JSONL log through a bounded
+		// channel, so -out costs O(worker skew) memory instead of O(N).
+		// A resequencer writes in Seq order, keeping the log byte-identical
+		// across runs even though workers deliver interleaved.
+		var writeDone chan error
+		if logw != nil {
+			ch := make(chan core.InjectionRecord, 1024)
+			cfg.Stream = ch
+			writeDone = make(chan error, 1)
+			go func() {
+				// Keep draining after a write error so the engine never
+				// blocks on a dead consumer; report the first error.
+				var werr error
+				pending := map[int]core.InjectionRecord{}
+				next := 0
+				for rec := range ch {
+					pending[rec.Seq] = rec
+					for {
+						r, ok := pending[next]
+						if !ok {
+							break
+						}
+						delete(pending, next)
+						next++
+						if werr == nil {
+							werr = logw.Write(r)
+						}
+					}
+				}
+				// A cancelled campaign leaves gaps in the Seq space; flush
+				// the stragglers in order so the partial log stays sorted.
+				rest := make([]int, 0, len(pending))
+				for seq := range pending {
+					rest = append(rest, seq)
+				}
+				sort.Ints(rest)
+				for _, seq := range rest {
+					if werr == nil {
+						werr = logw.Write(pending[seq])
+					}
+				}
+				writeDone <- werr
+			}()
+		}
+		res, err := core.RunCampaignContext(ctx, cfg)
+		if logw != nil {
+			if werr := <-writeDone; werr != nil {
+				die(werr)
+			}
+		}
 		if err != nil {
-			fatal(err)
+			die(err)
 		}
 		results[name] = res
-		if logw != nil {
-			if err := trace.WriteAll(logw, res.Records); err != nil {
-				fatal(err)
-			}
-			res.Records = nil
-		}
 	}
 
 	fmt.Println(figures.Figure4(results))

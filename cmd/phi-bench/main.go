@@ -1,21 +1,32 @@
 // Command phi-bench runs the ported workloads standalone (golden runs) and
 // reports their shapes, tick counts, work units and wall times — a quick
-// way to inspect the benchmark suite itself.
+// way to inspect the benchmark suite itself. With -sweep it instead drives
+// the fleet orchestrator: the full benchmarks × fault-models × policy grid
+// on one shared worker pool, with the SweepResult optionally exported as a
+// JSON artifact for cmd/phi-report and CI.
 //
 // Usage:
 //
 //	phi-bench [-bench all] [-seed 1] [-reps 3]
+//	phi-bench -sweep [-n 600] [-models Single,Double,Random,Zero]
+//	          [-policies by-frame] [-campaign-seed 1701] [-workers 8]
+//	          [-out sweep.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"phirel/internal/bench"
 	"phirel/internal/bench/all"
+	"phirel/internal/fault"
+	"phirel/internal/fleet"
 	"phirel/internal/report"
+	"phirel/internal/state"
 )
 
 func main() {
@@ -23,6 +34,14 @@ func main() {
 		benchName = flag.String("bench", "all", "benchmark name or 'all'")
 		seed      = flag.Uint64("seed", 1, "workload input seed")
 		reps      = flag.Int("reps", 3, "timing repetitions")
+
+		sweep     = flag.Bool("sweep", false, "run a fleet sweep instead of golden runs")
+		n         = flag.Int("n", 600, "sweep: injections per grid cell")
+		modelsArg = flag.String("models", "", "sweep: comma-separated fault models (default: all four)")
+		policies  = flag.String("policies", "by-frame", "sweep: comma-separated site-selection policies")
+		campSeed  = flag.Uint64("campaign-seed", 1701, "sweep: master seed (cell seeds derive from it)")
+		workers   = flag.Int("workers", 8, "sweep: shared pool size")
+		out       = flag.String("out", "", "sweep: write SweepResult JSON here (CI artifact)")
 	)
 	flag.Parse()
 
@@ -30,6 +49,12 @@ func main() {
 	if *benchName != "all" {
 		names = []string{*benchName}
 	}
+
+	if *sweep {
+		runSweep(names, *n, *modelsArg, *policies, *campSeed, *seed, *workers, *out)
+		return
+	}
+
 	t := report.NewTable("phirel workload suite (golden runs)",
 		"Benchmark", "Class", "Output", "Ticks", "Windows", "Work units", "Wall/run")
 	for _, name := range names {
@@ -57,6 +82,59 @@ func main() {
 		)
 	}
 	fmt.Println(t)
+}
+
+func runSweep(names []string, n int, modelsArg, policiesArg string, campSeed, benchSeed uint64, workers int, out string) {
+	models, err := fault.ParseModels(modelsArg)
+	if err != nil {
+		fatal(err)
+	}
+	pols, err := state.ParsePolicies(policiesArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	s := fleet.Sweep{
+		Benchmarks: names,
+		Models:     models,
+		Policies:   pols,
+		N:          n,
+		Seed:       campSeed,
+		BenchSeed:  benchSeed,
+		Workers:    workers,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "phi-bench: sweep %d/%d cells\n", done, total)
+		},
+	}
+	start := time.Now()
+	res, err := s.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "phi-bench: %d cells × %d injections in %s\n",
+		len(res.Cells), n, time.Since(start).Round(time.Millisecond))
+
+	t := report.NewTable("phirel fleet sweep (per-cell outcomes)",
+		"Benchmark", "Model", "Policy", "Masked %", "SDC %", "DUE %", "Fired %", "N")
+	for _, c := range res.Cells {
+		o := c.Result.Outcomes
+		t.AddRow(c.Benchmark, c.Model.String(), c.Policy.String(),
+			fmt.Sprintf("%.1f", o.MaskedShare().Percent()),
+			fmt.Sprintf("%.1f", o.SDCPVF().Percent()),
+			fmt.Sprintf("%.1f", o.DUEPVF().Percent()),
+			fmt.Sprintf("%.1f", c.Result.FiredShare.Percent()),
+			fmt.Sprintf("%d", o.Total()))
+	}
+	fmt.Println(t)
+
+	if out != "" {
+		if err := res.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phi-bench: wrote sweep result to %s\n", out)
+	}
 }
 
 func fatal(err error) {

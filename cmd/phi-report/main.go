@@ -1,11 +1,14 @@
 // Command phi-report re-derives campaign tables from JSONL logs written by
 // carol-fi — the analog of the paper artifact's parser scripts over the
 // public log release. It reconstructs outcome shares, per-model and
-// per-window PVF, and per-region criticality purely from the log.
+// per-window PVF, and per-region criticality purely from the log. With
+// -sweep it instead renders the paper figures from a fleet SweepResult
+// written by phi-bench -sweep -out.
 //
 // Usage:
 //
 //	phi-report -in logs.jsonl [-csv]
+//	phi-report -sweep sweep.json [-csv]
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 
 	"phirel/internal/core"
 	"phirel/internal/fault"
+	"phirel/internal/figures"
+	"phirel/internal/fleet"
 	"phirel/internal/report"
 	"phirel/internal/state"
 	"phirel/internal/trace"
@@ -23,12 +28,17 @@ import (
 
 func main() {
 	var (
-		in  = flag.String("in", "", "JSONL log written by carol-fi -out")
-		csv = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		in    = flag.String("in", "", "JSONL log written by carol-fi -out")
+		sweep = flag.String("sweep", "", "SweepResult JSON written by phi-bench -sweep -out")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
+	if *sweep != "" {
+		renderSweep(*sweep, *csv)
+		return
+	}
 	if *in == "" {
-		fatal(fmt.Errorf("missing -in"))
+		fatal(fmt.Errorf("missing -in (or -sweep)"))
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -160,6 +170,61 @@ func main() {
 		}
 	}
 	emit(crit)
+}
+
+// renderSweep regenerates the campaign figures from a fleet sweep artifact:
+// the per-benchmark merge feeds the same figure renderers the live
+// campaigns use, so a CI artifact and a fresh run print identical tables.
+func renderSweep(path string, csv bool) {
+	sr, err := fleet.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if len(sr.Cells) == 0 {
+		fatal(fmt.Errorf("no cells in %s", path))
+	}
+	emit := func(t *report.Table) {
+		if csv {
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			fmt.Println(t)
+		}
+	}
+	// A multi-policy sweep is an ablation: render each arm separately
+	// instead of conflating them into one set of figures.
+	policies := sr.Spec.Policies
+	if len(policies) == 0 { // hand-built artifact without a normalised spec
+		seen := map[state.Policy]bool{}
+		for _, c := range sr.Cells {
+			if !seen[c.Policy] {
+				seen[c.Policy] = true
+				policies = append(policies, c.Policy)
+			}
+		}
+	}
+	for _, policy := range policies {
+		merged := sr.MergedFor(policy)
+		if len(merged) == 0 {
+			continue
+		}
+		if len(policies) > 1 {
+			fmt.Printf("== policy: %s ==\n\n", policy)
+		}
+		emit(figures.Figure4(merged))
+		emit(figures.Figure5(merged, false))
+		emit(figures.Figure5(merged, true))
+		emit(figures.Figure6(merged, false))
+		emit(figures.Figure6(merged, true))
+		names := make([]string, 0, len(merged))
+		for n := range merged {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			emit(figures.Table1(merged[n], 20))
+		}
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,3 @@
+module phirel
+
+go 1.24

@@ -122,6 +122,15 @@ func New(name string, seed uint64) (Benchmark, error) {
 	return c(seed), nil
 }
 
+// Has reports whether name is a registered benchmark. Orchestrators use it
+// to validate a whole sweep spec before spinning up a worker pool.
+func Has(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := constructors[name]
+	return ok
+}
+
 // Names returns the registered benchmark names, sorted.
 func Names() []string {
 	regMu.RLock()

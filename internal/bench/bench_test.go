@@ -325,6 +325,16 @@ func TestNewUnknown(t *testing.T) {
 	}
 }
 
+func TestHas(t *testing.T) {
+	Register("has-test", func(seed uint64) Benchmark { return newToy() })
+	if !Has("has-test") {
+		t.Fatal("Has missed a registered benchmark")
+	}
+	if Has("no-such-benchmark") {
+		t.Fatal("Has accepted unknown name")
+	}
+}
+
 func TestNamesSorted(t *testing.T) {
 	names := Names()
 	for i := 1; i < len(names); i++ {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"phirel/internal/bench"
 	"phirel/internal/fault"
@@ -76,16 +79,32 @@ type CampaignConfig struct {
 	// Workers is the number of parallel injectors (each gets its own
 	// benchmark instance). Results are independent of Workers.
 	Workers int
-	// KeepRecords retains every InjectionRecord (memory-heavy for large N).
+	// KeepRecords retains every InjectionRecord in CampaignResult.Records,
+	// ordered by Seq. This is the only mode that costs O(N) memory; without
+	// it the engine streams outcomes into per-worker shard tallies and
+	// campaign memory stays O(Workers).
 	KeepRecords bool
+	// Progress, when non-nil, is invoked with (done, total) as injections
+	// complete — roughly every 1% of total and once at the end. Calls are
+	// serialised; done is monotonic within a call sequence.
+	Progress func(done, total int)
+	// Stream, when non-nil, receives every InjectionRecord as it is
+	// produced. Delivery order across workers is nondeterministic (records
+	// carry Seq for reordering). Give the channel a buffer so a slow
+	// consumer throttles the engine rather than serialising it. The engine
+	// closes the channel when the campaign returns, so a channel serves
+	// exactly one campaign. Works independently of KeepRecords.
+	Stream chan<- InjectionRecord
 }
 
 // CampaignResult aggregates a campaign.
 type CampaignResult struct {
 	Benchmark string
-	N         int
-	Windows   int
-	Policy    state.Policy
+	// N is the number of injections that completed — the configured N
+	// unless the campaign was cancelled.
+	N       int
+	Windows int
+	Policy  state.Policy
 
 	Outcomes OutcomeCounts
 	ByModel  map[fault.Model]OutcomeCounts
@@ -96,13 +115,68 @@ type CampaignResult struct {
 	// materialised (armed corruptions on dead variables never fire).
 	FiredShare stats.Proportion
 
-	Records []InjectionRecord
+	Records []InjectionRecord `json:",omitempty"`
+}
+
+// shard is one worker's private aggregation state. Each worker folds its
+// outcomes here and the engine merges the shards after the pool drains, so
+// aggregation needs no locks and campaign memory is O(workers), not O(N).
+type shard struct {
+	outcomes OutcomeCounts
+	byModel  map[fault.Model]OutcomeCounts
+	byWindow []OutcomeCounts
+	byRegion map[state.Region]OutcomeCounts
+	fired    int
+	records  []InjectionRecord
+	err      error
+}
+
+func newShard(windows int) *shard {
+	return &shard{
+		byModel:  map[fault.Model]OutcomeCounts{},
+		byWindow: make([]OutcomeCounts, windows),
+		byRegion: map[state.Region]OutcomeCounts{},
+	}
+}
+
+// fold tallies one record into the shard.
+func (s *shard) fold(rec InjectionRecord) {
+	o := rec.OutcomeOf()
+	s.outcomes.Add(o)
+	m := rec.ModelOf()
+	mc := s.byModel[m]
+	mc.Add(o)
+	s.byModel[m] = mc
+	if rec.Window >= 0 && rec.Window < len(s.byWindow) {
+		s.byWindow[rec.Window].Add(o)
+	}
+	rc := s.byRegion[rec.Region]
+	rc.Add(o)
+	s.byRegion[rec.Region] = rc
+	if rec.Fired {
+		s.fired++
+	}
 }
 
 // RunCampaign executes cfg.N injection experiments. Every experiment i uses
 // an RNG stream derived from (cfg.Seed, i), so results are bit-identical for
-// any worker count.
+// any worker count. It is RunCampaignContext without cancellation.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// RunCampaignContext executes cfg.N injection experiments under ctx. When
+// ctx is cancelled the engine stops scheduling new injections and returns
+// the partial result alongside ctx.Err(); the partial tallies are
+// internally consistent (every partition sums to the number of injections
+// that completed). Determinism is keyed by injection index: experiment i
+// always uses the RNG stream derived from (cfg.Seed, i) and the fault model
+// cfg.Models[i%len], so completed results are bit-identical for any worker
+// count.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Stream != nil {
+		defer close(cfg.Stream)
+	}
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("core: campaign needs N > 0")
 	}
@@ -125,41 +199,75 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	}
 	windows := probe.Bench.Windows()
 
-	records := make([]InjectionRecord, cfg.N)
+	// Progress is reported about every 1% of the campaign, serialised so
+	// the callback never runs concurrently with itself.
+	stride := int64(cfg.N / 100)
+	if stride < 1 {
+		stride = 1
+	}
+	var (
+		done       atomic.Int64
+		progressMu sync.Mutex
+	)
+	report := func() {
+		progressMu.Lock()
+		cfg.Progress(int(done.Load()), cfg.N)
+		progressMu.Unlock()
+	}
+
+	shards := make([]*shard, workers)
 	var wg sync.WaitGroup
-	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
+		sh := newShard(windows)
+		shards[w] = sh
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			inj := probe
 			if w != 0 {
-				var err error
-				inj, err = NewInjector(cfg.Benchmark, cfg.BenchSeed, cfg.Policy)
-				if err != nil {
-					errs[w] = err
+				inj, sh.err = NewInjector(cfg.Benchmark, cfg.BenchSeed, cfg.Policy)
+				if sh.err != nil {
 					return
 				}
 			}
 			for i := w; i < cfg.N; i += workers {
-				seed := cfg.Seed
-				rng := stats.NewRNG(mix(seed, uint64(i)))
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				rng := stats.NewRNG(mix(cfg.Seed, uint64(i)))
 				rec := inj.InjectOne(models[i%len(models)], rng)
 				rec.Seq = i
-				records[i] = rec
+				// Deliver before folding: a record cancelled mid-send is
+				// dropped entirely, so partial tallies never claim an
+				// injection the stream consumer did not receive.
+				if cfg.Stream != nil {
+					select {
+					case cfg.Stream <- rec:
+					case <-ctx.Done():
+						return
+					}
+				}
+				sh.fold(rec)
+				if cfg.KeepRecords {
+					sh.records = append(sh.records, rec)
+				}
+				if n := done.Add(1); cfg.Progress != nil && (n%stride == 0 || n == int64(cfg.N)) {
+					report()
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
 		}
 	}
 
 	res := &CampaignResult{
 		Benchmark: cfg.Benchmark,
-		N:         cfg.N,
 		Windows:   windows,
 		Policy:    cfg.Policy,
 		ByModel:   map[fault.Model]OutcomeCounts{},
@@ -167,28 +275,46 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		ByRegion:  map[state.Region]OutcomeCounts{},
 	}
 	fired := 0
-	for _, rec := range records {
-		o := rec.OutcomeOf()
-		res.Outcomes.Add(o)
-		mc := res.ByModel[rec.ModelOf()]
-		mc.Add(o)
-		res.ByModel[rec.ModelOf()] = mc
-		if rec.Window >= 0 && rec.Window < windows {
-			res.ByWindow[rec.Window].Add(o)
+	for _, sh := range shards {
+		res.Outcomes.Merge(sh.outcomes)
+		for m, c := range sh.byModel {
+			mc := res.ByModel[m]
+			mc.Merge(c)
+			res.ByModel[m] = mc
 		}
-		rc := res.ByRegion[rec.Region]
-		rc.Add(o)
-		res.ByRegion[rec.Region] = rc
-		if rec.Fired {
-			fired++
+		for w, c := range sh.byWindow {
+			res.ByWindow[w].Merge(c)
+		}
+		for r, c := range sh.byRegion {
+			rc := res.ByRegion[r]
+			rc.Merge(c)
+			res.ByRegion[r] = rc
+		}
+		fired += sh.fired
+		if cfg.KeepRecords {
+			res.Records = append(res.Records, sh.records...)
 		}
 	}
-	res.FiredShare = stats.NewProportion(fired, cfg.N)
+	// Completed-count denominators: N and FiredShare.N equal cfg.N unless
+	// the campaign was cancelled mid-flight, so partial results never
+	// claim injections that did not run.
+	res.N = res.Outcomes.Total()
+	res.FiredShare = stats.NewProportion(fired, res.N)
 	if cfg.KeepRecords {
-		res.Records = records
+		sort.Slice(res.Records, func(i, j int) bool {
+			return res.Records[i].Seq < res.Records[j].Seq
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 	return res, nil
 }
+
+// DeriveSeed exposes the engine's per-index seed mixing so higher layers
+// (the fleet orchestrator) can derive per-campaign seeds from one master
+// seed with the same avalanche properties as the per-injection streams.
+func DeriveSeed(seed, idx uint64) uint64 { return mix(seed, idx) }
 
 // mix derives a per-injection seed from the campaign seed and index.
 func mix(seed, i uint64) uint64 {

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"reflect"
+	"sort"
 	"testing"
 
 	"phirel/internal/bench"
@@ -68,13 +71,127 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 		return res
 	}
 	a := run(1)
-	b := run(4)
+	b := run(8)
 	if a.Outcomes != b.Outcomes {
 		t.Fatalf("outcomes differ across worker counts: %+v vs %+v", a.Outcomes, b.Outcomes)
+	}
+	if !reflect.DeepEqual(a.ByModel, b.ByModel) {
+		t.Fatalf("by-model tallies differ:\n%+v\n%+v", a.ByModel, b.ByModel)
+	}
+	if !reflect.DeepEqual(a.ByWindow, b.ByWindow) {
+		t.Fatalf("by-window tallies differ:\n%+v\n%+v", a.ByWindow, b.ByWindow)
+	}
+	if !reflect.DeepEqual(a.ByRegion, b.ByRegion) {
+		t.Fatalf("by-region tallies differ:\n%+v\n%+v", a.ByRegion, b.ByRegion)
+	}
+	if a.FiredShare != b.FiredShare {
+		t.Fatalf("fired share differs: %+v vs %+v", a.FiredShare, b.FiredShare)
+	}
+	if len(a.Records) != 60 || len(b.Records) != 60 {
+		t.Fatalf("record counts %d/%d", len(a.Records), len(b.Records))
 	}
 	for i := range a.Records {
 		if a.Records[i] != b.Records[i] {
 			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+// assertConsistent checks that every partition of a result sums to the same
+// completed-injection count — the invariant cancellation must not break.
+func assertConsistent(t *testing.T, res *CampaignResult) int {
+	t.Helper()
+	total := res.Outcomes.Total()
+	modelTotal := 0
+	for _, c := range res.ByModel {
+		modelTotal += c.Total()
+	}
+	if modelTotal != total {
+		t.Fatalf("model partition sums to %d, want %d", modelTotal, total)
+	}
+	windowTotal := 0
+	for _, w := range res.ByWindow {
+		windowTotal += w.Total()
+	}
+	if windowTotal != total {
+		t.Fatalf("window partition sums to %d, want %d", windowTotal, total)
+	}
+	regionTotal := 0
+	for _, r := range res.ByRegion {
+		regionTotal += r.Total()
+	}
+	if regionTotal != total {
+		t.Fatalf("region partition sums to %d, want %d", regionTotal, total)
+	}
+	if res.FiredShare.N != total {
+		t.Fatalf("fired share over %d injections, want %d", res.FiredShare.N, total)
+	}
+	if res.N != total {
+		t.Fatalf("result N %d, want completed count %d", res.N, total)
+	}
+	return total
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 4000
+	res, err := RunCampaignContext(ctx, CampaignConfig{
+		Benchmark: "DGEMM", N: n, Seed: 21, BenchSeed: 1, Workers: 4,
+		KeepRecords: true,
+		Progress: func(done, total int) {
+			if done >= 40 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled campaign returned no partial result")
+	}
+	total := assertConsistent(t, res)
+	if total == 0 {
+		t.Fatal("cancelled before any injection completed")
+	}
+	if total >= n {
+		t.Fatalf("campaign ran to completion (%d) despite cancellation", total)
+	}
+	if len(res.Records) != total {
+		t.Fatalf("%d records for %d completed injections", len(res.Records), total)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i-1].Seq >= res.Records[i].Seq {
+			t.Fatal("partial records not sorted by Seq")
+		}
+	}
+}
+
+func TestCampaignStreamMatchesRecords(t *testing.T) {
+	ch := make(chan InjectionRecord, 32)
+	var streamed []InjectionRecord
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rec := range ch {
+			streamed = append(streamed, rec)
+		}
+	}()
+	res, err := RunCampaign(CampaignConfig{
+		Benchmark: "DGEMM", N: 50, Seed: 33, BenchSeed: 1, Workers: 4,
+		KeepRecords: true, Stream: ch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done // the engine closed the channel when the campaign returned
+	if len(streamed) != len(res.Records) {
+		t.Fatalf("streamed %d records, kept %d", len(streamed), len(res.Records))
+	}
+	sort.Slice(streamed, func(i, j int) bool { return streamed[i].Seq < streamed[j].Seq })
+	for i := range streamed {
+		if streamed[i] != res.Records[i] {
+			t.Fatalf("streamed record %d differs:\n%+v\n%+v", i, streamed[i], res.Records[i])
 		}
 	}
 }

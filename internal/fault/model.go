@@ -12,6 +12,7 @@ package fault
 
 import (
 	"fmt"
+	"strings"
 
 	"phirel/internal/stats"
 )
@@ -63,6 +64,24 @@ func ParseModel(s string) (Model, error) {
 		}
 	}
 	return 0, fmt.Errorf("fault: unknown model %q", s)
+}
+
+// ParseModels parses a comma-separated list of model names, trimming
+// surrounding whitespace — the shared CLI flag format. An empty string
+// yields nil, which campaign configs treat as "all four models".
+func ParseModels(s string) ([]Model, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Model
+	for _, part := range strings.Split(s, ",") {
+		m, err := ParseModel(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
 }
 
 // Apply corrupts the len(buf)*8-bit value stored in buf in place according

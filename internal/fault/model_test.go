@@ -48,6 +48,19 @@ func TestParseModelRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseModels(t *testing.T) {
+	got, err := ParseModels(" Single, Zero ")
+	if err != nil || len(got) != 2 || got[0] != Single || got[1] != Zero {
+		t.Fatalf("ParseModels = %v, %v", got, err)
+	}
+	if got, err := ParseModels(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	if _, err := ParseModels("Single,bogus"); err == nil {
+		t.Fatal("ParseModels accepted garbage")
+	}
+}
+
 func TestValid(t *testing.T) {
 	for _, m := range Models {
 		if !m.Valid() {

@@ -1,7 +1,7 @@
 // Package figures regenerates every table and figure of the paper's
 // evaluation from fresh campaigns. It is the single harness shared by the
 // cmd tools and the root benchmark suite, so `go test -bench` and the CLIs
-// print identical rows. The experiment index lives in DESIGN.md §4.
+// print identical rows. The experiment index is the root bench_test.go.
 package figures
 
 import (

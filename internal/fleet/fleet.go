@@ -1,0 +1,265 @@
+// Package fleet orchestrates fleets of fault-injection campaigns. A Sweep
+// describes the paper's full experiment grid — benchmarks × fault models ×
+// site-selection policies, at N injections per cell — and Run executes every
+// cell on one shared worker pool with per-cell deterministic seeds derived
+// from a single master seed. The outcome is a self-contained SweepResult
+// that cmd/phi-bench produces, cmd/phi-report renders, and CI uploads as a
+// JSON artifact.
+//
+// Like bench.New, fleet resolves benchmarks through the registry: callers
+// must import the workload packages (typically phirel/internal/bench/all)
+// before running a sweep.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"phirel/internal/bench"
+	"phirel/internal/core"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+	"phirel/internal/stats"
+)
+
+// Sweep specifies a grid of campaigns. The zero value of each list field
+// selects the natural default (every registered benchmark, all four fault
+// models, the CAROL-FI frame-then-variable policy).
+type Sweep struct {
+	// Benchmarks to sweep (default: every registered benchmark, sorted).
+	Benchmarks []string `json:"benchmarks"`
+	// Models to sweep; each model is its own cell so per-model PVF keeps
+	// full-N precision (default: all four paper models).
+	Models []fault.Model `json:"models"`
+	// Policies to sweep (default: ByFrameThenVariable).
+	Policies []state.Policy `json:"policies"`
+	// N is the number of injections per cell.
+	N int `json:"n"`
+	// Seed is the master seed; cell i runs with core.DeriveSeed(Seed, i),
+	// so every cell has an independent deterministic stream and the whole
+	// sweep is reproducible from one number.
+	Seed uint64 `json:"seed"`
+	// BenchSeed determinises workload inputs.
+	BenchSeed uint64 `json:"benchSeed"`
+	// Workers is the shared pool size: how many cells run concurrently.
+	// Each cell runs with a single injector, so the pool is the only
+	// parallelism and results are independent of Workers (default 4).
+	Workers int `json:"workers"`
+	// Progress, when non-nil, is invoked with (done, total) cells as the
+	// pool completes them. Calls are serialised.
+	Progress func(done, total int) `json:"-"`
+}
+
+// CellSpec identifies one campaign of the grid.
+type CellSpec struct {
+	Benchmark string       `json:"benchmark"`
+	Model     fault.Model  `json:"model"`
+	Policy    state.Policy `json:"policy"`
+	// Seed is the cell's derived campaign seed.
+	Seed uint64 `json:"seed"`
+}
+
+// CellResult pairs a cell with its campaign outcome.
+type CellResult struct {
+	CellSpec
+	Result *core.CampaignResult `json:"result"`
+}
+
+// SweepResult is the self-contained outcome of one sweep: the normalised
+// spec plus one result per cell, in Cells() enumeration order.
+type SweepResult struct {
+	Spec  Sweep        `json:"spec"`
+	Cells []CellResult `json:"cells"`
+}
+
+// normalized returns a copy of s with defaults filled in.
+func (s Sweep) normalized() Sweep {
+	if len(s.Benchmarks) == 0 {
+		s.Benchmarks = bench.Names()
+	}
+	if len(s.Models) == 0 {
+		s.Models = append([]fault.Model(nil), fault.Models...)
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []state.Policy{state.ByFrameThenVariable}
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	return s
+}
+
+// Cells enumerates the grid in deterministic order — benchmark-major, then
+// policy, then model. The index into this slice keys each cell's derived
+// seed, so the grid layout is part of the sweep's identity.
+func (s Sweep) Cells() []CellSpec {
+	s = s.normalized()
+	cells := make([]CellSpec, 0, len(s.Benchmarks)*len(s.Policies)*len(s.Models))
+	for _, b := range s.Benchmarks {
+		for _, p := range s.Policies {
+			for _, m := range s.Models {
+				cells = append(cells, CellSpec{
+					Benchmark: b,
+					Model:     m,
+					Policy:    p,
+					Seed:      core.DeriveSeed(s.Seed, uint64(len(cells))),
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Run executes the sweep on one shared pool of s.Workers goroutines. Cell
+// results land in grid order regardless of completion order, so equal specs
+// produce byte-identical SweepResults. On error or cancellation the whole
+// pool drains and the first error (or ctx.Err()) is returned.
+func (s Sweep) Run(ctx context.Context) (*SweepResult, error) {
+	ns := s.normalized()
+	if ns.N <= 0 {
+		return nil, fmt.Errorf("fleet: sweep needs N > 0")
+	}
+	for _, b := range ns.Benchmarks {
+		if !bench.Has(b) {
+			return nil, fmt.Errorf("fleet: unknown benchmark %q (imported?)", b)
+		}
+	}
+	cells := ns.Cells()
+	out := make([]CellResult, len(cells))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	idxCh := make(chan int)
+	workers := ns.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				c := cells[i]
+				res, err := core.RunCampaignContext(ctx, core.CampaignConfig{
+					Benchmark: c.Benchmark,
+					N:         ns.N,
+					Models:    []fault.Model{c.Model},
+					Policy:    c.Policy,
+					Seed:      c.Seed,
+					BenchSeed: ns.BenchSeed,
+					Workers:   1,
+				})
+				if err != nil {
+					// A plain cancellation is not the cell's fault; the
+					// final ctx.Err() return reports it undecorated.
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+						fail(fmt.Errorf("fleet: cell %s/%s/%s: %w", c.Benchmark, c.Model, c.Policy, err))
+					} else {
+						cancel()
+					}
+					continue
+				}
+				out[i] = CellResult{CellSpec: c, Result: res}
+				if ns.Progress != nil {
+					n := done.Add(1)
+					mu.Lock()
+					ns.Progress(int(n), len(cells))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &SweepResult{Spec: ns, Cells: out}, nil
+}
+
+// Merged folds the sweep's cells back into one CampaignResult per benchmark
+// (summed across models AND policies) — the exact shape internal/figures
+// renders, so Figure 4/5/6 and Table 1 work directly on a sweep. For a
+// multi-policy sweep this conflates the ablation arms; use MergedFor to
+// keep them apart.
+func (r *SweepResult) Merged() map[string]*core.CampaignResult {
+	return r.merged(nil)
+}
+
+// MergedFor folds only the cells run under the given policy, keeping
+// multi-policy ablation sweeps renderable one arm at a time.
+func (r *SweepResult) MergedFor(policy state.Policy) map[string]*core.CampaignResult {
+	return r.merged(&policy)
+}
+
+func (r *SweepResult) merged(policy *state.Policy) map[string]*core.CampaignResult {
+	out := map[string]*core.CampaignResult{}
+	fired := map[string]int{}
+	for _, c := range r.Cells {
+		if c.Result == nil || (policy != nil && c.Policy != *policy) {
+			continue
+		}
+		m := out[c.Benchmark]
+		if m == nil {
+			m = &core.CampaignResult{
+				Benchmark: c.Benchmark,
+				Windows:   c.Result.Windows,
+				Policy:    c.Result.Policy,
+				ByModel:   map[fault.Model]core.OutcomeCounts{},
+				ByWindow:  make([]core.OutcomeCounts, c.Result.Windows),
+				ByRegion:  map[state.Region]core.OutcomeCounts{},
+			}
+			out[c.Benchmark] = m
+		}
+		m.N += c.Result.N
+		m.Outcomes.Merge(c.Result.Outcomes)
+		for mod, counts := range c.Result.ByModel {
+			mc := m.ByModel[mod]
+			mc.Merge(counts)
+			m.ByModel[mod] = mc
+		}
+		for w, counts := range c.Result.ByWindow {
+			if w < len(m.ByWindow) {
+				m.ByWindow[w].Merge(counts)
+			}
+		}
+		for reg, counts := range c.Result.ByRegion {
+			rc := m.ByRegion[reg]
+			rc.Merge(counts)
+			m.ByRegion[reg] = rc
+		}
+		fired[c.Benchmark] += c.Result.FiredShare.K
+	}
+	for name, m := range out {
+		m.FiredShare = stats.NewProportion(fired[name], m.Outcomes.Total())
+	}
+	return out
+}

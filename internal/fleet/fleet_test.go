@@ -1,0 +1,214 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	_ "phirel/internal/bench/all"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+)
+
+// quickSweep is the small grid the determinism and JSON tests share:
+// three benchmarks × two fault models at a few dozen injections per cell.
+func quickSweep() Sweep {
+	return Sweep{
+		Benchmarks: []string{"DGEMM", "LUD", "NW"},
+		Models:     []fault.Model{fault.Single, fault.Zero},
+		N:          30,
+		Seed:       97,
+		BenchSeed:  1,
+		Workers:    4,
+	}
+}
+
+func TestSweepDeterministicAcrossRuns(t *testing.T) {
+	a, err := quickSweep().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := quickSweep().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical sweeps produced different results")
+	}
+	// The pool size must not be part of the result identity.
+	serial := quickSweep()
+	serial.Workers = 1
+	c, err := serial.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cells, c.Cells) {
+		t.Fatal("cell results depend on pool size")
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	s := quickSweep()
+	cells := s.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("grid has %d cells, want 6", len(cells))
+	}
+	seeds := map[uint64]bool{}
+	for _, c := range cells {
+		if seeds[c.Seed] {
+			t.Fatalf("duplicate cell seed %d", c.Seed)
+		}
+		seeds[c.Seed] = true
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Cells {
+		if c.CellSpec != cells[i] {
+			t.Fatalf("cell %d out of grid order: %+v vs %+v", i, c.CellSpec, cells[i])
+		}
+		if got := c.Result.Outcomes.Total(); got != s.N {
+			t.Fatalf("cell %d completed %d of %d injections", i, got, s.N)
+		}
+		// Single-model cells must tally everything under their own model.
+		if got := c.Result.ByModel[c.Model].Total(); got != s.N {
+			t.Fatalf("cell %d has %d injections under its model", i, got)
+		}
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	res, err := quickSweep().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("sweep changed across JSON round-trip:\n%+v\n%+v", res, back)
+	}
+}
+
+func TestSweepMerged(t *testing.T) {
+	s := quickSweep()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := res.Merged()
+	if len(merged) != len(s.Benchmarks) {
+		t.Fatalf("merged %d benchmarks, want %d", len(merged), len(s.Benchmarks))
+	}
+	for _, name := range s.Benchmarks {
+		m := merged[name]
+		if m == nil {
+			t.Fatalf("benchmark %s missing from merge", name)
+		}
+		want := s.N * len(s.Models)
+		if m.Outcomes.Total() != want || m.N != want {
+			t.Fatalf("%s merged %d injections, want %d", name, m.Outcomes.Total(), want)
+		}
+		for _, mod := range s.Models {
+			if m.ByModel[mod].Total() != s.N {
+				t.Fatalf("%s model %s merged %d, want %d", name, mod, m.ByModel[mod].Total(), s.N)
+			}
+		}
+		windowTotal := 0
+		for _, w := range m.ByWindow {
+			windowTotal += w.Total()
+		}
+		if windowTotal != want {
+			t.Fatalf("%s window partition sums to %d, want %d", name, windowTotal, want)
+		}
+		if m.FiredShare.N != want {
+			t.Fatalf("%s fired share over %d, want %d", name, m.FiredShare.N, want)
+		}
+	}
+}
+
+func TestSweepMergedFor(t *testing.T) {
+	s := Sweep{
+		Benchmarks: []string{"DGEMM"},
+		Models:     []fault.Model{fault.Single},
+		Policies:   []state.Policy{state.ByFrameThenVariable, state.ByBytes},
+		N:          20,
+		Seed:       5,
+		BenchSeed:  1,
+		Workers:    2,
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Merged()["DGEMM"].Outcomes.Total(); got != 40 {
+		t.Fatalf("conflated merge has %d injections, want 40", got)
+	}
+	arm := res.MergedFor(state.ByBytes)["DGEMM"]
+	if arm.Outcomes.Total() != 20 || arm.N != 20 {
+		t.Fatalf("by-bytes arm has %d injections, want 20", arm.Outcomes.Total())
+	}
+	if arm.Policy != state.ByBytes {
+		t.Fatalf("arm labelled %v", arm.Policy)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := quickSweep().Run(ctx); err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	s := quickSweep()
+	s.N = 0
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	s = quickSweep()
+	s.Benchmarks = []string{"Ghost"}
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+}
+
+// TestSweepFullQuickScale runs the paper's full grid — every registered
+// benchmark × all four fault models — through one shared pool, the
+// acceptance shape for the fleet orchestrator.
+func TestSweepFullQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := Sweep{N: 16, Seed: 1701, BenchSeed: 1, Workers: 8}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(res.Spec.Benchmarks) * len(fault.Models)
+	if len(res.Cells) != wantCells {
+		t.Fatalf("%d cells, want %d", len(res.Cells), wantCells)
+	}
+	if res.Spec.Policies[0] != state.ByFrameThenVariable {
+		t.Fatalf("default policy %v", res.Spec.Policies[0])
+	}
+	for _, c := range res.Cells {
+		if c.Result.Outcomes.Total() != s.N {
+			t.Fatalf("cell %s/%s completed %d of %d", c.Benchmark, c.Model, c.Result.Outcomes.Total(), s.N)
+		}
+	}
+	merged := res.Merged()
+	for name, m := range merged {
+		if m.Outcomes.Total() != s.N*len(fault.Models) {
+			t.Fatalf("%s merged %d", name, m.Outcomes.Total())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serialises the sweep result as indented JSON — the CI artifact
+// format. Integer-keyed maps (ByModel) and string-keyed maps (ByRegion)
+// both round-trip through encoding/json.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("fleet: encode sweep: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserialises a sweep result written by WriteJSON.
+func ReadJSON(r io.Reader) (*SweepResult, error) {
+	var out SweepResult
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fleet: decode sweep: %w", err)
+	}
+	return &out, nil
+}
+
+// WriteFile writes the sweep result to path.
+func (r *SweepResult) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a sweep result from path.
+func ReadFile(path string) (*SweepResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -2,13 +2,14 @@ package state
 
 import (
 	"fmt"
+	"strings"
 
 	"phirel/internal/fault"
 	"phirel/internal/stats"
 )
 
 // Policy selects how the injector chooses among live sites, the subject of
-// ablation A1 in DESIGN.md.
+// ablation A1 in the root benchmark suite.
 type Policy int
 
 const (
@@ -49,6 +50,24 @@ func ParsePolicy(s string) (Policy, error) {
 		}
 	}
 	return 0, fmt.Errorf("state: unknown policy %q", s)
+}
+
+// ParsePolicies parses a comma-separated list of policy names, trimming
+// surrounding whitespace — the shared CLI flag format. An empty string
+// yields nil so callers can apply their own default.
+func ParsePolicies(s string) ([]Policy, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Policy
+	for _, part := range strings.Split(s, ",") {
+		p, err := ParsePolicy(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // Frame is a named group of sites that is live for part of the execution,

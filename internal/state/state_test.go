@@ -328,3 +328,16 @@ func TestPolicyStringParse(t *testing.T) {
 		t.Error("ParsePolicy accepted garbage")
 	}
 }
+
+func TestParsePolicies(t *testing.T) {
+	got, err := ParsePolicies(" by-frame , by-bytes ")
+	if err != nil || len(got) != 2 || got[0] != ByFrameThenVariable || got[1] != ByBytes {
+		t.Fatalf("ParsePolicies = %v, %v", got, err)
+	}
+	if got, err := ParsePolicies(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	if _, err := ParsePolicies("by-frame,nope"); err == nil {
+		t.Fatal("ParsePolicies accepted garbage")
+	}
+}
