@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt sweep
+.PHONY: build test race vet fmt sweep bench-smoke
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,21 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-checks the concurrent engine and orchestrator packages.
+# Race-checks the concurrent machinery: the shared streaming engine, both
+# campaign classes built on it, and the fleet orchestrator. The -run
+# filter selects the concurrency-exercising tests (worker determinism,
+# cancellation, stream delivery, progress, pool scheduling) and -short
+# scales their fixtures down: race-instrumented Monte-Carlo runs cost
+# ~100x, and the statistical-power campaigns add nothing to race coverage
+# (plain `make test` still runs everything at full size).
 race:
-	$(GO) test -race ./internal/core/... ./internal/fleet/...
+	$(GO) test -race -short -timeout 15m -run 'Engine|Deterministic|Cancel|Stream|Progress|Sweep' \
+		./internal/engine/... ./internal/core/... ./internal/beam/... ./internal/fleet/...
+
+# Runs every figure/ablation benchmark exactly once — a smoke test that the
+# experiment index still executes, so engine regressions surface in CI.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +34,8 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Quick-scale fleet sweep: all benchmarks × all four fault models, exported
-# as the same JSON artifact CI uploads.
+# Quick-scale fleet sweep covering both experiment classes: injection cells
+# (all benchmarks × all four fault models) plus beam cells (beam suite ×
+# ECC ablation), exported as the same JSON artifact CI uploads.
 sweep:
-	$(GO) run ./cmd/phi-bench -sweep -n 200 -workers 8 -out sweep.json
+	$(GO) run ./cmd/phi-bench -sweep -n 200 -beam-runs 1000 -beam-ecc-ablation -workers 8 -out sweep.json

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"sort"
 
 	"phirel/internal/bench/all"
 	"phirel/internal/core"
@@ -92,47 +91,16 @@ func main() {
 			},
 		}
 		// Records stream straight to the JSONL log through a bounded
-		// channel, so -out costs O(worker skew) memory instead of O(N).
-		// A resequencer writes in Seq order, keeping the log byte-identical
-		// across runs even though workers deliver interleaved.
+		// channel, so -out costs O(worker skew) memory instead of O(N);
+		// the resequencer keeps the log byte-identical across runs even
+		// though workers deliver interleaved.
 		var writeDone chan error
 		if logw != nil {
 			ch := make(chan core.InjectionRecord, 1024)
 			cfg.Stream = ch
 			writeDone = make(chan error, 1)
 			go func() {
-				// Keep draining after a write error so the engine never
-				// blocks on a dead consumer; report the first error.
-				var werr error
-				pending := map[int]core.InjectionRecord{}
-				next := 0
-				for rec := range ch {
-					pending[rec.Seq] = rec
-					for {
-						r, ok := pending[next]
-						if !ok {
-							break
-						}
-						delete(pending, next)
-						next++
-						if werr == nil {
-							werr = logw.Write(r)
-						}
-					}
-				}
-				// A cancelled campaign leaves gaps in the Seq space; flush
-				// the stragglers in order so the partial log stays sorted.
-				rest := make([]int, 0, len(pending))
-				for seq := range pending {
-					rest = append(rest, seq)
-				}
-				sort.Ints(rest)
-				for _, seq := range rest {
-					if werr == nil {
-						werr = logw.Write(pending[seq])
-					}
-				}
-				writeDone <- werr
+				writeDone <- trace.CopyOrdered(ch, logw, func(r core.InjectionRecord) int { return r.Seq })
 			}()
 		}
 		res, err := core.RunCampaignContext(ctx, cfg)

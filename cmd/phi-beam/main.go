@@ -1,22 +1,29 @@
 // Command phi-beam runs accelerated neutron-beam campaigns against the
-// simulated Xeon Phi 3120A and prints the paper's Figure 2 (FIT + spatial
+// simulated Xeon Phi and prints the paper's Figure 2 (FIT + spatial
 // patterns), Figure 3 (FIT reduction vs tolerance), and the machine-scale
-// extrapolation table (§4.2).
+// extrapolation table (§4.2). Campaigns run on the unified streaming engine
+// (internal/engine): per-run records stream straight to the -out JSONL log
+// in O(workers) memory, SIGINT cancels cleanly leaving a valid partial log,
+// and -progress reports completion like phi-bench does.
 //
 // Usage:
 //
-//	phi-beam [-runs 40000] [-seed N] [-workers N] [-no-ecc]
-//	         [-out beam.jsonl] [-extrapolate]
+//	phi-beam [-runs 40000] [-seed N] [-workers N] [-device KNC3120A]
+//	         [-no-ecc] [-out beam.jsonl] [-progress] [-extrapolate]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"phirel/internal/beam"
 	"phirel/internal/bench/all"
 	"phirel/internal/figures"
+	"phirel/internal/phi"
 	"phirel/internal/trace"
 )
 
@@ -26,40 +33,86 @@ func main() {
 		seed        = flag.Uint64("seed", 1701, "campaign seed")
 		benchSeed   = flag.Uint64("bench-seed", 1, "workload input seed")
 		workers     = flag.Int("workers", 8, "parallel shards")
+		device      = flag.String("device", phi.DefaultDevice, "device model key")
 		noECC       = flag.Bool("no-ecc", false, "disable SECDED (ablation A2)")
-		out         = flag.String("out", "", "write per-run JSONL log here")
+		out         = flag.String("out", "", "write per-run JSONL log here (streamed)")
+		progress    = flag.Bool("progress", false, "report per-benchmark completion on stderr")
 		extrapolate = flag.Bool("extrapolate", true, "print Trinity/exascale extrapolation")
 	)
 	flag.Parse()
 
-	var logw *trace.Writer
+	dev, err := phi.NewDevice(*device)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		logw *trace.Writer
+		logf *os.File
+	)
 	if *out != "" {
-		f, err := os.Create(*out)
+		logf, err = os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		logw = trace.NewWriter(f)
+		defer logf.Close()
+		logw = trace.NewWriter(logf)
 		defer logw.Flush()
 	}
+	// die flushes the partial log before exiting, so an interrupted or
+	// failed campaign still leaves valid JSONL behind (fatal skips defers).
+	die := func(err error) {
+		if logw != nil {
+			logw.Flush()
+			logf.Close()
+		}
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	results := map[string]*beam.Result{}
 	for _, name := range all.BeamSuite {
 		fmt.Fprintf(os.Stderr, "phi-beam: %d accelerated runs on %s...\n", *runs, name)
-		res, err := beam.Run(beam.Config{
+		cfg := beam.Config{
 			Benchmark: name, Runs: *runs, Seed: *seed, BenchSeed: *benchSeed,
-			Workers: *workers, DisableECC: *noECC, KeepRecords: logw != nil,
-		})
+			Workers: *workers, Device: dev, DisableECC: *noECC,
+		}
+		if *progress {
+			cfg.Progress = func(done, total int) {
+				if done == total || done%(max(total/10, 1)) == 0 {
+					fmt.Fprintf(os.Stderr, "phi-beam: %s %d/%d\n", name, done, total)
+				}
+			}
+		}
+		// Records stream straight to the JSONL log through a bounded
+		// channel, so -out costs O(worker skew) memory instead of O(Runs);
+		// the resequencer keeps the log byte-identical across runs even
+		// though workers deliver interleaved.
+		var writeDone chan error
+		if logw != nil {
+			ch := make(chan beam.Record, 1024)
+			cfg.Stream = ch
+			writeDone = make(chan error, 1)
+			go func() {
+				writeDone <- trace.CopyOrdered(ch, logw, func(r beam.Record) int { return r.Seq })
+			}()
+		}
+		res, err := beam.RunContext(ctx, cfg)
+		if logw != nil {
+			if werr := <-writeDone; werr != nil {
+				die(werr)
+			}
+		}
 		if err != nil {
-			fatal(err)
+			if errors.Is(err, context.Canceled) && logw != nil {
+				fmt.Fprintf(os.Stderr, "phi-beam: interrupted; %d records flushed to %s\n",
+					logw.Count(), *out)
+			}
+			die(err)
 		}
 		results[name] = res
-		if logw != nil {
-			if err := trace.WriteAll(logw, res.Records); err != nil {
-				fatal(err)
-			}
-			res.Records = nil
-		}
 	}
 
 	fmt.Println(figures.Figure2(results))

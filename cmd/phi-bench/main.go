@@ -1,15 +1,18 @@
 // Command phi-bench runs the ported workloads standalone (golden runs) and
 // reports their shapes, tick counts, work units and wall times — a quick
 // way to inspect the benchmark suite itself. With -sweep it instead drives
-// the fleet orchestrator: the full benchmarks × fault-models × policy grid
-// on one shared worker pool, with the SweepResult optionally exported as a
-// JSON artifact for cmd/phi-report and CI.
+// the fleet orchestrator: the full benchmarks × fault-models × policy
+// injection grid, plus — with -beam-runs — accelerated-beam cells
+// (benchmark × device × ECC arm), all on one shared worker pool, with the
+// SweepResult optionally exported as a JSON artifact for cmd/phi-report
+// and CI.
 //
 // Usage:
 //
 //	phi-bench [-bench all] [-seed 1] [-reps 3]
 //	phi-bench -sweep [-n 600] [-models Single,Double,Random,Zero]
 //	          [-policies by-frame] [-campaign-seed 1701] [-workers 8]
+//	          [-beam-runs 6000] [-beam-devices KNC3120A] [-beam-ecc-ablation]
 //	          [-out sweep.json]
 package main
 
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"phirel/internal/bench"
@@ -42,6 +46,10 @@ func main() {
 		campSeed  = flag.Uint64("campaign-seed", 1701, "sweep: master seed (cell seeds derive from it)")
 		workers   = flag.Int("workers", 8, "sweep: shared pool size")
 		out       = flag.String("out", "", "sweep: write SweepResult JSON here (CI artifact)")
+
+		beamRuns    = flag.Int("beam-runs", 0, "sweep: accelerated runs per beam cell (0 = no beam cells)")
+		beamDevices = flag.String("beam-devices", "", "sweep: comma-separated phi device keys (default: KNC3120A)")
+		beamECC     = flag.Bool("beam-ecc-ablation", false, "sweep: add a SECDED-disabled arm per beam cell (A2)")
 	)
 	flag.Parse()
 
@@ -51,7 +59,11 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(names, *n, *modelsArg, *policies, *campSeed, *seed, *workers, *out)
+		runSweep(sweepOpts{
+			names: names, n: *n, models: *modelsArg, policies: *policies,
+			campSeed: *campSeed, benchSeed: *seed, workers: *workers, out: *out,
+			beamRuns: *beamRuns, beamDevices: *beamDevices, beamECC: *beamECC,
+		})
 		return
 	}
 
@@ -84,56 +96,98 @@ func main() {
 	fmt.Println(t)
 }
 
-func runSweep(names []string, n int, modelsArg, policiesArg string, campSeed, benchSeed uint64, workers int, out string) {
-	models, err := fault.ParseModels(modelsArg)
+type sweepOpts struct {
+	names               []string
+	n                   int
+	models, policies    string
+	campSeed, benchSeed uint64
+	workers             int
+	out                 string
+	beamRuns            int
+	beamDevices         string
+	beamECC             bool
+}
+
+func runSweep(o sweepOpts) {
+	models, err := fault.ParseModels(o.models)
 	if err != nil {
 		fatal(err)
 	}
-	pols, err := state.ParsePolicies(policiesArg)
+	pols, err := state.ParsePolicies(o.policies)
 	if err != nil {
 		fatal(err)
+	}
+	var devices []string
+	if o.beamDevices != "" {
+		devices = strings.Split(o.beamDevices, ",")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	s := fleet.Sweep{
-		Benchmarks: names,
-		Models:     models,
-		Policies:   pols,
-		N:          n,
-		Seed:       campSeed,
-		BenchSeed:  benchSeed,
-		Workers:    workers,
+		Benchmarks:      o.names,
+		Models:          models,
+		Policies:        pols,
+		N:               o.n,
+		Seed:            o.campSeed,
+		BenchSeed:       o.benchSeed,
+		Workers:         o.workers,
+		BeamRuns:        o.beamRuns,
+		BeamDevices:     devices,
+		BeamECCAblation: o.beamECC,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "phi-bench: sweep %d/%d cells\n", done, total)
 		},
+	}
+	if o.beamRuns > 0 {
+		// The paper's beam suite: every injection benchmark with a
+		// calibrated occupancy profile except NW (§3.2).
+		s.BeamBenchmarks = all.BeamSuite
 	}
 	start := time.Now()
 	res, err := s.Run(ctx)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "phi-bench: %d cells × %d injections in %s\n",
-		len(res.Cells), n, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "phi-bench: %d injection + %d beam cells in %s\n",
+		len(res.Cells), len(res.BeamCells), time.Since(start).Round(time.Millisecond))
 
-	t := report.NewTable("phirel fleet sweep (per-cell outcomes)",
-		"Benchmark", "Model", "Policy", "Masked %", "SDC %", "DUE %", "Fired %", "N")
-	for _, c := range res.Cells {
-		o := c.Result.Outcomes
-		t.AddRow(c.Benchmark, c.Model.String(), c.Policy.String(),
-			fmt.Sprintf("%.1f", o.MaskedShare().Percent()),
-			fmt.Sprintf("%.1f", o.SDCPVF().Percent()),
-			fmt.Sprintf("%.1f", o.DUEPVF().Percent()),
-			fmt.Sprintf("%.1f", c.Result.FiredShare.Percent()),
-			fmt.Sprintf("%d", o.Total()))
+	if len(res.Cells) > 0 {
+		t := report.NewTable("phirel fleet sweep (per-cell outcomes)",
+			"Benchmark", "Model", "Policy", "Masked %", "SDC %", "DUE %", "Fired %", "N")
+		for _, c := range res.Cells {
+			o := c.Result.Outcomes
+			t.AddRow(c.Benchmark, c.Model.String(), c.Policy.String(),
+				fmt.Sprintf("%.1f", o.MaskedShare().Percent()),
+				fmt.Sprintf("%.1f", o.SDCPVF().Percent()),
+				fmt.Sprintf("%.1f", o.DUEPVF().Percent()),
+				fmt.Sprintf("%.1f", c.Result.FiredShare.Percent()),
+				fmt.Sprintf("%d", o.Total()))
+		}
+		fmt.Println(t)
 	}
-	fmt.Println(t)
+	if len(res.BeamCells) > 0 {
+		t := report.NewTable("phirel fleet sweep (per-beam-cell outcomes)",
+			"Benchmark", "Device", "ECC", "SDC FIT", "DUE FIT", "Corrected", "Runs")
+		for _, c := range res.BeamCells {
+			ecc := "on"
+			if c.DisableECC {
+				ecc = "off"
+			}
+			t.AddRow(c.Benchmark, c.Device, ecc,
+				fmt.Sprintf("%.1f", c.Result.SDCFIT().FIT),
+				fmt.Sprintf("%.1f", c.Result.DUEFIT().FIT),
+				fmt.Sprintf("%d", c.Result.CorrectedByECC),
+				fmt.Sprintf("%d", c.Result.Runs))
+		}
+		fmt.Println(t)
+	}
 
-	if out != "" {
-		if err := res.WriteFile(out); err != nil {
+	if o.out != "" {
+		if err := res.WriteFile(o.out); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "phi-bench: wrote sweep result to %s\n", out)
+		fmt.Fprintf(os.Stderr, "phi-bench: wrote sweep result to %s\n", o.out)
 	}
 }
 

@@ -172,15 +172,16 @@ func main() {
 	emit(crit)
 }
 
-// renderSweep regenerates the campaign figures from a fleet sweep artifact:
-// the per-benchmark merge feeds the same figure renderers the live
-// campaigns use, so a CI artifact and a fresh run print identical tables.
+// renderSweep regenerates the campaign figures from a fleet sweep artifact
+// — injection cells feed the Figure 4/5/6 + Table 1 renderers, beam cells
+// the Figure 2/3 + Table 2 renderers, one pass per ablation arm — so a CI
+// artifact and a fresh run print identical tables.
 func renderSweep(path string, csv bool) {
 	sr, err := fleet.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	if len(sr.Cells) == 0 {
+	if len(sr.Cells) == 0 && len(sr.BeamCells) == 0 {
 		fatal(fmt.Errorf("no cells in %s", path))
 	}
 	emit := func(t *report.Table) {
@@ -224,6 +225,24 @@ func renderSweep(path string, csv bool) {
 		for _, n := range names {
 			emit(figures.Table1(merged[n], 20))
 		}
+	}
+	// Beam cells render per (device, ECC) ablation arm.
+	arms := sr.BeamArms()
+	for _, arm := range arms {
+		results := sr.BeamFor(arm.Device, arm.DisableECC)
+		if len(results) == 0 {
+			continue
+		}
+		if len(arms) > 1 {
+			ecc := "on"
+			if arm.DisableECC {
+				ecc = "off"
+			}
+			fmt.Printf("== beam arm: %s, ECC %s ==\n\n", arm.Device, ecc)
+		}
+		emit(figures.Figure2(results))
+		emit(figures.Figure3(results))
+		emit(figures.Table2(results))
 	}
 }
 

@@ -34,7 +34,7 @@ func main() {
 		}
 		report.BarChart(os.Stdout,
 			fmt.Sprintf("%s — SDC FIT by spatial pattern (total %.1f FIT, %d events)",
-				name, res.SDCFIT().FIT, res.SDC), labels, values, "FIT")
+				name, res.SDCFIT().FIT, res.Outcomes.SDC), labels, values, "FIT")
 		fmt.Printf("  single-element share: %s (paper: <10%%)\n\n", res.SingleElementShare())
 
 		if name == "DGEMM" {
@@ -44,7 +44,7 @@ func main() {
 				res.SDCByPattern[analysis.PatternLine] +
 				res.SDCByPattern[analysis.PatternRandom]
 			fmt.Printf("  ABFT-correctable SDCs (single+line+random): %d/%d = %.0f%%\n\n",
-				correctable, res.SDC, 100*float64(correctable)/float64(res.SDC))
+				correctable, res.Outcomes.SDC, 100*float64(correctable)/float64(res.Outcomes.SDC))
 		}
 	}
 }

@@ -28,7 +28,7 @@ func main() {
 	}
 	base := res.SDCFIT()
 	fmt.Printf("Strict SDC FIT (any bit mismatch): %.1f (95%% CI %s) from %d SDC events\n\n",
-		base.FIT, base.CI, res.SDC)
+		base.FIT, base.CI, res.Outcomes.SDC)
 
 	tols := analysis.DefaultTolerances
 	curve := res.ToleranceCurve(tols)

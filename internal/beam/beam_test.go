@@ -1,9 +1,13 @@
 package beam
 
 import (
+	"context"
+	"reflect"
+	"sort"
 	"testing"
 
 	"phirel/internal/analysis"
+	"phirel/internal/bench"
 	_ "phirel/internal/bench/all"
 	"phirel/internal/phi"
 	"phirel/internal/stats"
@@ -14,24 +18,27 @@ func TestBeamSmallCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	total := res.Masked + res.SDC + res.DUE()
+	total := res.Outcomes.Masked + res.Outcomes.SDC + res.Outcomes.DUE()
 	if total != 3000 {
 		t.Fatalf("outcome total %d != runs", total)
 	}
 	if res.CorrectedByECC < 2000 {
 		t.Fatalf("ECC corrected only %d; SRAM faults should dominate", res.CorrectedByECC)
 	}
-	if res.SDC == 0 {
+	if res.Outcomes.SDC == 0 {
 		t.Fatal("no SDCs in 3000 accelerated runs")
 	}
-	if res.DUEMCA == 0 {
+	if res.Outcomes.DUEMCA == 0 {
 		t.Fatal("no MCA DUEs; double-bit path unexercised")
 	}
-	if len(res.RelErrs) != res.SDC {
-		t.Fatalf("rel errs %d != SDC count %d", len(res.RelErrs), res.SDC)
+	if len(res.RelErrs) != res.Outcomes.SDC {
+		t.Fatalf("rel errs %d != SDC count %d", len(res.RelErrs), res.Outcomes.SDC)
 	}
 }
 
+// The acceptance shape for the unified engine: the whole Result — tallies,
+// pattern split, Seq-ordered RelErrs, and every record — must be identical
+// for any worker count.
 func TestBeamDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *Result {
 		r, err := Run(Config{Benchmark: "DGEMM", Runs: 400, Seed: 7, BenchSeed: 1,
@@ -41,15 +48,114 @@ func TestBeamDeterministicAcrossWorkers(t *testing.T) {
 		}
 		return r
 	}
-	a, b := run(1), run(3)
-	if a.SDC != b.SDC || a.DUE() != b.DUE() || a.Masked != b.Masked {
-		t.Fatalf("outcomes differ: %d/%d/%d vs %d/%d/%d",
-			a.Masked, a.SDC, a.DUE(), b.Masked, b.SDC, b.DUE())
-	}
-	for i := range a.Records {
-		if a.Records[i] != b.Records[i] {
-			t.Fatalf("record %d differs", i)
+	base := run(1)
+	for _, workers := range []int{3, 8} {
+		other := run(workers)
+		if !reflect.DeepEqual(base, other) {
+			t.Fatalf("workers=%d Result differs from workers=1:\n%+v\n%+v", workers, base, other)
 		}
+	}
+}
+
+// assertBeamConsistent checks every partition of a beam result sums to the
+// completed-run count — the invariant cancellation must not break.
+func assertBeamConsistent(t *testing.T, res *Result) int {
+	t.Helper()
+	total := res.Outcomes.Total()
+	if res.Runs != total {
+		t.Fatalf("Runs %d != outcome total %d", res.Runs, total)
+	}
+	patterns := 0
+	for _, n := range res.SDCByPattern {
+		patterns += n
+	}
+	if patterns != res.Outcomes.SDC {
+		t.Fatalf("pattern partition sums to %d, want SDC count %d", patterns, res.Outcomes.SDC)
+	}
+	if len(res.RelErrs) != res.Outcomes.SDC {
+		t.Fatalf("%d rel errs for %d SDCs", len(res.RelErrs), res.Outcomes.SDC)
+	}
+	if res.CorrectedByECC > res.Outcomes.Masked {
+		t.Fatalf("corrected %d exceeds masked %d", res.CorrectedByECC, res.Outcomes.Masked)
+	}
+	return total
+}
+
+func TestBeamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const runs = 8000
+	res, err := RunContext(ctx, Config{
+		Benchmark: "DGEMM", Runs: runs, Seed: 21, BenchSeed: 1, Workers: 4,
+		KeepRecords: true,
+		Progress: func(done, total int) {
+			if done >= 80 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled campaign returned no partial result")
+	}
+	total := assertBeamConsistent(t, res)
+	if total == 0 {
+		t.Fatal("cancelled before any run completed")
+	}
+	if total >= runs {
+		t.Fatalf("campaign ran to completion (%d) despite cancellation", total)
+	}
+	if len(res.Records) != total {
+		t.Fatalf("%d records for %d completed runs", len(res.Records), total)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i-1].Seq >= res.Records[i].Seq {
+			t.Fatal("partial records not sorted by Seq")
+		}
+	}
+}
+
+func TestBeamStreamMatchesRecords(t *testing.T) {
+	ch := make(chan Record, 32)
+	var streamed []Record
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rec := range ch {
+			streamed = append(streamed, rec)
+		}
+	}()
+	res, err := Run(Config{
+		Benchmark: "DGEMM", Runs: 200, Seed: 33, BenchSeed: 1, Workers: 4,
+		KeepRecords: true, Stream: ch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done // the engine closed the channel when the campaign returned
+	if len(streamed) != len(res.Records) {
+		t.Fatalf("streamed %d records, kept %d", len(streamed), len(res.Records))
+	}
+	sort.Slice(streamed, func(i, j int) bool { return streamed[i].Seq < streamed[j].Seq })
+	for i := range streamed {
+		if streamed[i] != res.Records[i] {
+			t.Fatalf("streamed record %d differs:\n%+v\n%+v", i, streamed[i], res.Records[i])
+		}
+	}
+}
+
+func TestBeamRecordParsers(t *testing.T) {
+	rec := Record{Outcome: "DUE-mca", Pattern: "Line"}
+	if rec.OutcomeOf() != bench.DUEMCA {
+		t.Fatal("outcome parse")
+	}
+	if rec.PatternOf() != analysis.PatternLine {
+		t.Fatal("pattern parse")
+	}
+	bad := Record{Outcome: "???", Pattern: "???"}
+	if bad.OutcomeOf() != bench.Masked || bad.PatternOf() != analysis.PatternNone {
+		t.Fatal("fallback parses")
 	}
 }
 
@@ -63,11 +169,11 @@ func TestBeamECCAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if off.DUEMCA != 0 {
+	if off.Outcomes.DUEMCA != 0 {
 		t.Fatal("MCA DUEs with ECC disabled")
 	}
-	if off.SDC <= 2*on.SDC {
-		t.Fatalf("disabling ECC should multiply SDCs: on=%d off=%d", on.SDC, off.SDC)
+	if off.Outcomes.SDC <= 2*on.Outcomes.SDC {
+		t.Fatalf("disabling ECC should multiply SDCs: on=%d off=%d", on.Outcomes.SDC, off.Outcomes.SDC)
 	}
 	if off.CorrectedByECC != 0 {
 		t.Fatal("corrected faults with ECC disabled")
@@ -80,7 +186,7 @@ func TestBeamFITAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	sdc := res.SDCFIT()
-	if sdc.K != res.SDC || sdc.N != res.Runs {
+	if sdc.K != res.Outcomes.SDC || sdc.N != res.Runs {
 		t.Fatal("FIT estimate counts wrong")
 	}
 	if sdc.FIT <= 0 || !(sdc.CI.Lo <= sdc.FIT && sdc.FIT <= sdc.CI.Hi) {
@@ -99,12 +205,15 @@ func TestBeamFITAccounting(t *testing.T) {
 // Paper §2.1: fewer than 10% of corrupted executions have a single wrong
 // element. Allow slack for the small sample.
 func TestBeamMultiElementDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: statistical-power campaign")
+	}
 	res, err := Run(Config{Benchmark: "DGEMM", Runs: 6000, Seed: 11, BenchSeed: 1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.SDC < 30 {
-		t.Skipf("only %d SDCs; not enough for a share test", res.SDC)
+	if res.Outcomes.SDC < 30 {
+		t.Skipf("only %d SDCs; not enough for a share test", res.Outcomes.SDC)
 	}
 	share := res.SingleElementShare()
 	if share.P > 0.35 {
@@ -113,6 +222,9 @@ func TestBeamMultiElementDominates(t *testing.T) {
 }
 
 func TestBeamToleranceCurveMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: statistical-power campaign")
+	}
 	res, err := Run(Config{Benchmark: "HotSpot", Runs: 4000, Seed: 13, BenchSeed: 1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +235,7 @@ func TestBeamToleranceCurveMonotone(t *testing.T) {
 			t.Fatalf("tolerance curve not monotone: %v", curve)
 		}
 	}
-	if res.SDC > 20 && curve[len(curve)-1] == 0 {
+	if res.Outcomes.SDC > 20 && curve[len(curve)-1] == 0 {
 		t.Fatal("15% tolerance removed nothing; attenuation analysis broken")
 	}
 }
@@ -167,7 +279,7 @@ func TestBeamAllBeamSuite(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.Masked+res.SDC+res.DUE() != 600 {
+			if res.Outcomes.Masked+res.Outcomes.SDC+res.Outcomes.DUE() != 600 {
 				t.Fatal("accounting")
 			}
 		})

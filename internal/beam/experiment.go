@@ -1,11 +1,14 @@
 package beam
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"sort"
 
 	"phirel/internal/analysis"
 	"phirel/internal/bench"
+	"phirel/internal/core"
+	"phirel/internal/engine"
 	"phirel/internal/phi"
 	"phirel/internal/stats"
 )
@@ -26,8 +29,20 @@ type Config struct {
 	// DisableECC removes SECDED from the SRAM arrays (ablation A2: every
 	// SRAM upset reaches architectural state).
 	DisableECC bool
-	// KeepRecords retains per-run records.
+	// KeepRecords retains per-run records in Result.Records, ordered by
+	// Seq. This is the only mode that costs O(Runs) memory; without it the
+	// engine streams outcomes into per-worker shard tallies and campaign
+	// memory stays O(Workers).
 	KeepRecords bool
+	// Progress, when non-nil, is invoked with (done, total) as runs
+	// complete — roughly every 1% of total and once at the end. Calls are
+	// serialised.
+	Progress func(done, total int)
+	// Stream, when non-nil, receives every Record as it is produced.
+	// Delivery order across workers is nondeterministic (records carry Seq
+	// for reordering). The engine closes the channel when the campaign
+	// returns. Works independently of KeepRecords.
+	Stream chan<- Record
 }
 
 // Record is one accelerated run's log entry (the public beam log format).
@@ -48,29 +63,37 @@ type Record struct {
 // Result aggregates a beam campaign into the paper's Figure 2/3 quantities.
 type Result struct {
 	Benchmark string
-	Runs      int
-	Device    string
+	// Runs is the number of accelerated runs that completed — the
+	// configured Runs unless the campaign was cancelled.
+	Runs   int
+	Device string
+	// ECCDisabled records the A2 ablation arm the campaign ran under.
+	ECCDisabled bool `json:",omitempty"`
 
-	// Outcome tallies over all accelerated runs.
-	Masked, SDC, DUECrash, DUEHang, DUEMCA int
+	// Outcomes tallies all accelerated runs with the same shape the
+	// injection campaigns use, so the two experiment classes share one
+	// outcome algebra (PVFs, merge, figures).
+	Outcomes core.OutcomeCounts
 	// CorrectedByECC counts raw faults absorbed by SECDED.
 	CorrectedByECC int
 
 	// SDCByPattern splits the SDC count by spatial pattern.
 	SDCByPattern map[analysis.Pattern]int
 
-	// RelErrs holds the worst relative error of every SDC run (Figure 3).
+	// RelErrs holds the worst relative error of every SDC run in Seq order
+	// (Figure 3), so a completed Result is bit-identical for any worker
+	// count.
 	RelErrs []float64
 
 	// RawFaultRate is the calibrated raw upset rate (faults/hour at
 	// natural flux) that converts probabilities into FIT.
 	RawFaultRate float64
 
-	Records []Record
+	Records []Record `json:",omitempty"`
 }
 
 // DUE returns all detected-unrecoverable counts.
-func (r *Result) DUE() int { return r.DUECrash + r.DUEHang + r.DUEMCA }
+func (r *Result) DUE() int { return r.Outcomes.DUE() }
 
 // FIT converts an outcome count into a FIT estimate with binomial CI.
 func (r *Result) FIT(count int) analysis.FITEstimate {
@@ -84,7 +107,7 @@ func (r *Result) FIT(count int) analysis.FITEstimate {
 }
 
 // SDCFIT returns the total SDC FIT estimate.
-func (r *Result) SDCFIT() analysis.FITEstimate { return r.FIT(r.SDC) }
+func (r *Result) SDCFIT() analysis.FITEstimate { return r.FIT(r.Outcomes.SDC) }
 
 // DUEFIT returns the total DUE FIT estimate.
 func (r *Result) DUEFIT() analysis.FITEstimate { return r.FIT(r.DUE()) }
@@ -105,13 +128,83 @@ func (r *Result) ToleranceCurve(tolerances []float64) []float64 {
 // neutron-corrupted executions are affected by only a single erroneous
 // element" (§2.1).
 func (r *Result) SingleElementShare() stats.Proportion {
-	return stats.NewProportion(r.SDCByPattern[analysis.PatternSingle], r.SDC)
+	return stats.NewProportion(r.SDCByPattern[analysis.PatternSingle], r.Outcomes.SDC)
 }
 
-// Run executes the accelerated campaign.
+// OutcomeOf parses the record's outcome back into the harness enum.
+func (r Record) OutcomeOf() bench.Outcome {
+	for _, o := range []bench.Outcome{bench.Masked, bench.SDC, bench.DUECrash, bench.DUEHang, bench.DUEMCA} {
+		if o.String() == r.Outcome {
+			return o
+		}
+	}
+	return bench.Masked
+}
+
+// PatternOf parses the record's spatial pattern.
+func (r Record) PatternOf() analysis.Pattern {
+	for _, p := range analysis.Patterns {
+		if p.String() == r.Pattern {
+			return p
+		}
+	}
+	return analysis.PatternNone
+}
+
+// shard is one worker's private aggregation state; the engine merges the
+// shards after its pool drains, so no locks and O(workers) campaign memory.
+type shard struct {
+	outcomes  core.OutcomeCounts
+	corrected int
+	byPattern map[analysis.Pattern]int
+	// relErrs carries Seq so the merged Result's Figure 3 series has one
+	// deterministic order regardless of worker count.
+	relErrs []seqErr
+}
+
+type seqErr struct {
+	seq int
+	v   float64
+}
+
+// fold tallies one record into the shard.
+func (s *shard) fold(rec Record) {
+	o := rec.OutcomeOf()
+	s.outcomes.Add(o)
+	switch o {
+	case bench.Masked:
+		if rec.HWResult == phi.Corrected.String() {
+			s.corrected++
+		}
+	case bench.SDC:
+		s.byPattern[rec.PatternOf()]++
+		s.relErrs = append(s.relErrs, seqErr{rec.Seq, rec.MaxRelErr})
+	}
+}
+
+// Run executes the accelerated campaign. It is RunContext without
+// cancellation.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the accelerated campaign under ctx on the shared
+// streaming engine (internal/engine) — the same machinery the CAROL-FI
+// injection campaigns use. When ctx is cancelled the engine stops
+// scheduling new runs and returns the partial result alongside ctx.Err();
+// partial tallies are internally consistent. Run i always uses the RNG
+// stream derived from (cfg.Seed ^ beamSeedSalt, i), so completed results
+// are bit-identical for any worker count and the stream family matches the
+// pre-unification beam mixer.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	fail := func(err error) (*Result, error) {
+		if cfg.Stream != nil {
+			close(cfg.Stream)
+		}
+		return nil, err
+	}
 	if cfg.Runs <= 0 {
-		return nil, fmt.Errorf("beam: campaign needs Runs > 0")
+		return fail(fmt.Errorf("beam: campaign needs Runs > 0"))
 	}
 	dev := cfg.Device
 	if dev == nil {
@@ -127,91 +220,64 @@ func Run(cfg Config) (*Result, error) {
 	}
 	profile, err := phi.ProfileFor(cfg.Benchmark)
 	if err != nil {
+		return fail(err)
+	}
+
+	eres, err := engine.Run(ctx, engine.Config[Record, *shard]{
+		N:           cfg.Runs,
+		Seed:        cfg.Seed ^ beamSeedSalt,
+		Workers:     cfg.Workers,
+		KeepRecords: cfg.KeepRecords,
+		Progress:    cfg.Progress,
+		Stream:      cfg.Stream,
+		NewWorker: func(int) (engine.Experiment[Record], error) {
+			b, werr := bench.New(cfg.Benchmark, cfg.BenchSeed)
+			if werr != nil {
+				return nil, werr
+			}
+			runner, werr := bench.NewRunner(b)
+			if werr != nil {
+				return nil, werr
+			}
+			return func(i int, rng *stats.RNG) Record {
+				return oneRun(i, cfg.Benchmark, b, runner, dev, profile, rng)
+			}, nil
+		},
+		NewShard: func(int) *shard { return &shard{byPattern: map[analysis.Pattern]int{}} },
+		Fold:     func(sh *shard, rec Record) { sh.fold(rec) },
+	})
+	if eres == nil {
 		return nil, err
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	if workers > cfg.Runs {
-		workers = cfg.Runs
-	}
-
-	type shard struct {
-		b      bench.Benchmark
-		runner *bench.Runner
-	}
-	newShard := func() (*shard, error) {
-		b, err := bench.New(cfg.Benchmark, cfg.BenchSeed)
-		if err != nil {
-			return nil, err
-		}
-		runner, err := bench.NewRunner(b)
-		if err != nil {
-			return nil, err
-		}
-		return &shard{b: b, runner: runner}, nil
-	}
-
-	records := make([]Record, cfg.Runs)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sh, err := newShard()
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			for i := w; i < cfg.Runs; i += workers {
-				rng := stats.NewRNG(mixBeam(cfg.Seed, uint64(i)))
-				records[i] = oneRun(i, cfg.Benchmark, sh.b, sh.runner, dev, profile, rng)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
 	}
 
 	res := &Result{
 		Benchmark:    cfg.Benchmark,
-		Runs:         cfg.Runs,
 		Device:       dev.Name,
+		ECCDisabled:  cfg.DisableECC,
 		SDCByPattern: map[analysis.Pattern]int{},
 		RawFaultRate: dev.RawFaultRate(profile, analysis.NaturalFlux),
+		Records:      eres.Records,
 	}
-	for _, rec := range records {
-		switch rec.Outcome {
-		case bench.Masked.String():
-			res.Masked++
-			if rec.HWResult == phi.Corrected.String() {
-				res.CorrectedByECC++
-			}
-		case bench.SDC.String():
-			res.SDC++
-			for _, p := range analysis.Patterns {
-				if p.String() == rec.Pattern {
-					res.SDCByPattern[p]++
-				}
-			}
-			res.RelErrs = append(res.RelErrs, rec.MaxRelErr)
-		case bench.DUECrash.String():
-			res.DUECrash++
-		case bench.DUEHang.String():
-			res.DUEHang++
-		case bench.DUEMCA.String():
-			res.DUEMCA++
+	var errs []seqErr
+	for _, sh := range eres.Shards {
+		res.Outcomes.Merge(sh.outcomes)
+		res.CorrectedByECC += sh.corrected
+		for p, n := range sh.byPattern {
+			res.SDCByPattern[p] += n
+		}
+		errs = append(errs, sh.relErrs...)
+	}
+	// Each shard's relErrs are already Seq-sorted (strided assignment);
+	// one global sort folds the k streams into the canonical order.
+	sort.Slice(errs, func(i, j int) bool { return errs[i].seq < errs[j].seq })
+	if len(errs) > 0 {
+		res.RelErrs = make([]float64, len(errs))
+		for i, e := range errs {
+			res.RelErrs[i] = e.v
 		}
 	}
-	if cfg.KeepRecords {
-		res.Records = records
-	}
-	return res, nil
+	res.Runs = res.Outcomes.Total()
+	return res, err
 }
 
 // oneRun executes one accelerated run: sample a raw fault, filter it
@@ -264,13 +330,8 @@ func oneRun(seq int, name string, b bench.Benchmark, runner *bench.Runner,
 	return rec
 }
 
-// mixBeam derives the per-run RNG seed (distinct stream family from the
-// CAROL-FI campaign mixer).
-func mixBeam(seed, i uint64) uint64 {
-	x := seed ^ 0xbeadcafef00dd00d ^ (i+1)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	return x ^ x>>31
-}
+// beamSeedSalt keeps the beam campaign's per-run RNG streams a distinct
+// family from the CAROL-FI injection mixer: the engine derives run i's seed
+// as stats.Mix64(Seed ^ beamSeedSalt, i), which reproduces the
+// pre-unification mixBeam stream bit for bit.
+const beamSeedSalt = 0xbeadcafef00dd00d

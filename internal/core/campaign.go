@@ -3,11 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
 
 	"phirel/internal/bench"
+	"phirel/internal/engine"
 	"phirel/internal/fault"
 	"phirel/internal/state"
 	"phirel/internal/stats"
@@ -119,16 +117,14 @@ type CampaignResult struct {
 }
 
 // shard is one worker's private aggregation state. Each worker folds its
-// outcomes here and the engine merges the shards after the pool drains, so
-// aggregation needs no locks and campaign memory is O(workers), not O(N).
+// outcomes here and the shards are merged after the engine's pool drains,
+// so aggregation needs no locks and campaign memory is O(workers), not O(N).
 type shard struct {
 	outcomes OutcomeCounts
 	byModel  map[fault.Model]OutcomeCounts
 	byWindow []OutcomeCounts
 	byRegion map[state.Region]OutcomeCounts
 	fired    int
-	records  []InjectionRecord
-	err      error
 }
 
 func newShard(windows int) *shard {
@@ -165,105 +161,65 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	return RunCampaignContext(context.Background(), cfg)
 }
 
-// RunCampaignContext executes cfg.N injection experiments under ctx. When
-// ctx is cancelled the engine stops scheduling new injections and returns
-// the partial result alongside ctx.Err(); the partial tallies are
-// internally consistent (every partition sums to the number of injections
-// that completed). Determinism is keyed by injection index: experiment i
-// always uses the RNG stream derived from (cfg.Seed, i) and the fault model
-// cfg.Models[i%len], so completed results are bit-identical for any worker
-// count.
+// RunCampaignContext executes cfg.N injection experiments under ctx on the
+// shared streaming engine (internal/engine). When ctx is cancelled the
+// engine stops scheduling new injections and returns the partial result
+// alongside ctx.Err(); the partial tallies are internally consistent (every
+// partition sums to the number of injections that completed). Determinism
+// is keyed by injection index: experiment i always uses the RNG stream
+// derived from (cfg.Seed, i) and the fault model cfg.Models[i%len], so
+// completed results are bit-identical for any worker count.
 func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
-	if cfg.Stream != nil {
-		defer close(cfg.Stream)
+	// The engine owns closing cfg.Stream, but validation errors raised
+	// before the engine starts must still release stream consumers.
+	fail := func(err error) (*CampaignResult, error) {
+		if cfg.Stream != nil {
+			close(cfg.Stream)
+		}
+		return nil, err
 	}
 	if cfg.N <= 0 {
-		return nil, fmt.Errorf("core: campaign needs N > 0")
+		return fail(fmt.Errorf("core: campaign needs N > 0"))
 	}
 	models := cfg.Models
 	if len(models) == 0 {
 		models = fault.Models
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	if workers > cfg.N {
-		workers = cfg.N
-	}
 
-	// Probe instance for metadata (and to fail fast on a bad name).
+	// Probe instance for metadata (and to fail fast on a bad name); worker
+	// 0 reuses it instead of building a fresh injector.
 	probe, err := NewInjector(cfg.Benchmark, cfg.BenchSeed, cfg.Policy)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	windows := probe.Bench.Windows()
 
-	// Progress is reported about every 1% of the campaign, serialised so
-	// the callback never runs concurrently with itself.
-	stride := int64(cfg.N / 100)
-	if stride < 1 {
-		stride = 1
-	}
-	var (
-		done       atomic.Int64
-		progressMu sync.Mutex
-	)
-	report := func() {
-		progressMu.Lock()
-		cfg.Progress(int(done.Load()), cfg.N)
-		progressMu.Unlock()
-	}
-
-	shards := make([]*shard, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		sh := newShard(windows)
-		shards[w] = sh
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+	eres, err := engine.Run(ctx, engine.Config[InjectionRecord, *shard]{
+		N:           cfg.N,
+		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
+		KeepRecords: cfg.KeepRecords,
+		Progress:    cfg.Progress,
+		Stream:      cfg.Stream,
+		NewWorker: func(w int) (engine.Experiment[InjectionRecord], error) {
 			inj := probe
 			if w != 0 {
-				inj, sh.err = NewInjector(cfg.Benchmark, cfg.BenchSeed, cfg.Policy)
-				if sh.err != nil {
-					return
+				var werr error
+				if inj, werr = NewInjector(cfg.Benchmark, cfg.BenchSeed, cfg.Policy); werr != nil {
+					return nil, werr
 				}
 			}
-			for i := w; i < cfg.N; i += workers {
-				select {
-				case <-ctx.Done():
-					return
-				default:
-				}
-				rng := stats.NewRNG(mix(cfg.Seed, uint64(i)))
+			return func(i int, rng *stats.RNG) InjectionRecord {
 				rec := inj.InjectOne(models[i%len(models)], rng)
 				rec.Seq = i
-				// Deliver before folding: a record cancelled mid-send is
-				// dropped entirely, so partial tallies never claim an
-				// injection the stream consumer did not receive.
-				if cfg.Stream != nil {
-					select {
-					case cfg.Stream <- rec:
-					case <-ctx.Done():
-						return
-					}
-				}
-				sh.fold(rec)
-				if cfg.KeepRecords {
-					sh.records = append(sh.records, rec)
-				}
-				if n := done.Add(1); cfg.Progress != nil && (n%stride == 0 || n == int64(cfg.N)) {
-					report()
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, sh := range shards {
-		if sh.err != nil {
-			return nil, sh.err
-		}
+				return rec
+			}, nil
+		},
+		NewShard: func(int) *shard { return newShard(windows) },
+		Fold:     func(sh *shard, rec InjectionRecord) { sh.fold(rec) },
+	})
+	if eres == nil {
+		return nil, err
 	}
 
 	res := &CampaignResult{
@@ -273,9 +229,10 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 		ByModel:   map[fault.Model]OutcomeCounts{},
 		ByWindow:  make([]OutcomeCounts, windows),
 		ByRegion:  map[state.Region]OutcomeCounts{},
+		Records:   eres.Records, // engine keeps them in Seq (= index) order
 	}
 	fired := 0
-	for _, sh := range shards {
+	for _, sh := range eres.Shards {
 		res.Outcomes.Merge(sh.outcomes)
 		for m, c := range sh.byModel {
 			mc := res.ByModel[m]
@@ -291,37 +248,18 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 			res.ByRegion[r] = rc
 		}
 		fired += sh.fired
-		if cfg.KeepRecords {
-			res.Records = append(res.Records, sh.records...)
-		}
 	}
 	// Completed-count denominators: N and FiredShare.N equal cfg.N unless
 	// the campaign was cancelled mid-flight, so partial results never
 	// claim injections that did not run.
 	res.N = res.Outcomes.Total()
 	res.FiredShare = stats.NewProportion(fired, res.N)
-	if cfg.KeepRecords {
-		sort.Slice(res.Records, func(i, j int) bool {
-			return res.Records[i].Seq < res.Records[j].Seq
-		})
-	}
-	if err := ctx.Err(); err != nil {
-		return res, err
-	}
-	return res, nil
+	return res, err
 }
 
 // DeriveSeed exposes the engine's per-index seed mixing so higher layers
 // (the fleet orchestrator) can derive per-campaign seeds from one master
-// seed with the same avalanche properties as the per-injection streams.
-func DeriveSeed(seed, idx uint64) uint64 { return mix(seed, idx) }
-
-// mix derives a per-injection seed from the campaign seed and index.
-func mix(seed, i uint64) uint64 {
-	x := seed ^ (i+1)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	return x ^ x>>31
-}
+// seed with the same avalanche properties as the per-injection streams. It
+// is a thin alias of stats.Mix64, the mixer the engine itself uses, so
+// sweep seeds published before the engines were unified remain stable.
+func DeriveSeed(seed, idx uint64) uint64 { return stats.Mix64(seed, idx) }

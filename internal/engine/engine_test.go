@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"phirel/internal/stats"
+)
+
+// trial is the toy record the engine tests run: index plus one RNG draw, so
+// determinism failures are visible as value mismatches.
+type trial struct {
+	I int
+	V uint64
+}
+
+// tally is the toy mergeable aggregate.
+type tally struct {
+	n   int
+	sum uint64
+}
+
+func config(n, workers int) Config[trial, *tally] {
+	return Config[trial, *tally]{
+		N:       n,
+		Seed:    99,
+		Workers: workers,
+		NewWorker: func(w int) (Experiment[trial], error) {
+			return func(i int, rng *stats.RNG) trial {
+				return trial{I: i, V: rng.Uint64()}
+			}, nil
+		},
+		NewShard: func(int) *tally { return &tally{} },
+		Fold:     func(sh *tally, t trial) { sh.n++; sh.sum += t.V },
+	}
+}
+
+func merged(res *Result[trial, *tally]) tally {
+	var out tally
+	for _, sh := range res.Shards {
+		out.n += sh.n
+		out.sum += sh.sum
+	}
+	return out
+}
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	var base *Result[trial, *tally]
+	for _, workers := range []int{1, 3, 8} {
+		cfg := config(100, workers)
+		cfg.KeepRecords = true
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Done != 100 || len(res.Records) != 100 {
+			t.Fatalf("workers=%d: done %d records %d", workers, res.Done, len(res.Records))
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base.Records, res.Records) {
+			t.Fatalf("workers=%d: records differ from workers=1", workers)
+		}
+		if merged(base) != merged(res) {
+			t.Fatalf("workers=%d: merged tally differs", workers)
+		}
+	}
+}
+
+func TestEngineSeedsAreMix64(t *testing.T) {
+	cfg := config(10, 2)
+	cfg.KeepRecords = true
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.Records {
+		want := stats.NewRNG(stats.Mix64(99, uint64(i))).Uint64()
+		if rec.I != i || rec.V != want {
+			t.Fatalf("trial %d: got (%d,%d), want (%d,%d)", i, rec.I, rec.V, i, want)
+		}
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := config(5000, 4)
+	cfg.KeepRecords = true
+	cfg.Progress = func(done, total int) {
+		if done >= 50 {
+			cancel()
+		}
+	}
+	res, err := Run(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+	m := merged(res)
+	if m.n != res.Done || len(res.Records) != res.Done {
+		t.Fatalf("partial accounting: tally %d, records %d, done %d", m.n, len(res.Records), res.Done)
+	}
+	if res.Done == 0 || res.Done >= 5000 {
+		t.Fatalf("done = %d, want a strict partial", res.Done)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i-1].I >= res.Records[i].I {
+			t.Fatal("partial records not in index order")
+		}
+	}
+}
+
+func TestEngineStreamMatchesTallies(t *testing.T) {
+	ch := make(chan trial, 16)
+	var streamed []trial
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for tr := range ch {
+			streamed = append(streamed, tr)
+		}
+	}()
+	cfg := config(80, 4)
+	cfg.Stream = ch
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-drained // Run closed the channel
+	if len(streamed) != res.Done {
+		t.Fatalf("streamed %d, done %d", len(streamed), res.Done)
+	}
+	sort.Slice(streamed, func(i, j int) bool { return streamed[i].I < streamed[j].I })
+	for i, tr := range streamed {
+		if tr.I != i {
+			t.Fatalf("stream missing trial %d", i)
+		}
+	}
+}
+
+func TestEngineStreamClosedOnError(t *testing.T) {
+	ch := make(chan trial)
+	cfg := config(0, 1) // invalid N
+	cfg.Stream = ch
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("stream not closed on config error")
+	}
+}
+
+func TestEngineWorkerError(t *testing.T) {
+	cfg := config(40, 4)
+	cfg.NewWorker = func(w int) (Experiment[trial], error) {
+		if w == 2 {
+			return nil, fmt.Errorf("boom")
+		}
+		return func(i int, rng *stats.RNG) trial { return trial{I: i} }, nil
+	}
+	res, err := Run(context.Background(), cfg)
+	if err == nil || res != nil {
+		t.Fatalf("worker error not propagated: res=%v err=%v", res, err)
+	}
+}
+
+func TestEngineProgressMonotone(t *testing.T) {
+	var last atomic.Int64
+	cfg := config(300, 4)
+	cfg.Progress = func(done, total int) {
+		if total != 300 {
+			t.Errorf("total = %d", total)
+		}
+		if prev := last.Swap(int64(done)); int64(done) < prev {
+			t.Errorf("progress went backwards: %d after %d", done, prev)
+		}
+	}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if last.Load() != 300 {
+		t.Fatalf("final progress %d, want 300", last.Load())
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	cfg := config(10, 1)
+	cfg.Fold = nil
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("accepted nil Fold")
+	}
+}

@@ -5,6 +5,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,8 @@ import (
 	_ "phirel/internal/bench/all"
 	"phirel/internal/core"
 	"phirel/internal/fault"
+	"phirel/internal/fleet"
+	"phirel/internal/phi"
 	"phirel/internal/report"
 	"phirel/internal/state"
 )
@@ -39,20 +42,44 @@ func Full() Scale {
 	return Scale{BeamRuns: 40000, Injections: 10000, Workers: 8, Seed: 1701, BenchSeed: 1}
 }
 
-// BeamResults runs the beam campaign for the five beam benchmarks.
+// BeamResults runs the beam campaign for the five beam benchmarks through
+// the fleet orchestrator: one beam cell per benchmark on a shared pool with
+// per-cell derived seeds, the same path `phi-bench -sweep -beam-runs` uses.
 func BeamResults(s Scale) (map[string]*beam.Result, error) {
-	out := map[string]*beam.Result{}
-	for _, name := range all.BeamSuite {
-		res, err := beam.Run(beam.Config{
-			Benchmark: name, Runs: s.BeamRuns, Seed: s.Seed, BenchSeed: s.BenchSeed,
-			Workers: s.Workers,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("figures: beam %s: %w", name, err)
-		}
-		out[name] = res
+	sw := fleet.Sweep{
+		BeamRuns:       s.BeamRuns,
+		BeamBenchmarks: all.BeamSuite,
+		Seed:           s.Seed,
+		BenchSeed:      s.BenchSeed,
+		Workers:        s.Workers,
 	}
-	return out, nil
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("figures: beam sweep: %w", err)
+	}
+	return res.BeamFor(phi.DefaultDevice, false), nil
+}
+
+// beamOrder returns the render order for a beam result set: the paper's
+// presentation order first, then any extension benchmarks (e.g. NW beam
+// cells from a default fleet grid) sorted by name.
+func beamOrder(results map[string]*beam.Result) []string {
+	inSuite := map[string]bool{}
+	var names []string
+	for _, name := range all.BeamSuite {
+		inSuite[name] = true
+		if _, ok := results[name]; ok {
+			names = append(names, name)
+		}
+	}
+	var extra []string
+	for name := range results {
+		if !inSuite[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
 }
 
 // Figure2 renders the beam FIT table: SDC FIT split by spatial pattern plus
@@ -61,11 +88,8 @@ func Figure2(results map[string]*beam.Result) *report.Table {
 	t := report.NewTable(
 		"Figure 2 — Benchmarks FIT and spatial distribution (sea level)",
 		"Benchmark", "SDC FIT", "Cubic", "Square", "Line", "Single", "Random", "DUE FIT", "SDC ev", "DUE ev")
-	for _, name := range all.BeamSuite {
-		r, ok := results[name]
-		if !ok {
-			continue
-		}
+	for _, name := range beamOrder(results) {
+		r := results[name]
 		t.AddRow(name,
 			fmt.Sprintf("%.1f", r.SDCFIT().FIT),
 			fmt.Sprintf("%.1f", r.PatternFIT(analysis.PatternCubic).FIT),
@@ -74,7 +98,7 @@ func Figure2(results map[string]*beam.Result) *report.Table {
 			fmt.Sprintf("%.1f", r.PatternFIT(analysis.PatternSingle).FIT),
 			fmt.Sprintf("%.1f", r.PatternFIT(analysis.PatternRandom).FIT),
 			fmt.Sprintf("%.1f", r.DUEFIT().FIT),
-			fmt.Sprintf("%d", r.SDC),
+			fmt.Sprintf("%d", r.Outcomes.SDC),
 			fmt.Sprintf("%d", r.DUE()),
 		)
 	}
@@ -86,11 +110,8 @@ func Figure3(results map[string]*beam.Result) *report.Table {
 	t := report.NewTable(
 		"Figure 3 — SDC FIT reduction [%] vs tolerated relative error",
 		append([]string{"Benchmark"}, toleranceHeaders()...)...)
-	for _, name := range all.BeamSuite {
-		r, ok := results[name]
-		if !ok {
-			continue
-		}
+	for _, name := range beamOrder(results) {
+		r := results[name]
 		curve := r.ToleranceCurve(analysis.DefaultTolerances)
 		row := []string{name}
 		for _, v := range curve {

@@ -89,6 +89,67 @@ func TestFigure2HandlesMissing(t *testing.T) {
 	}
 }
 
+// TestTable2Golden pins the exact machine-scale extrapolation render for a
+// synthetic beam result with hand-checkable numbers: RawFaultRate 1e-5 and
+// SDC share 0.1 give FIT = 1e-5·1e9·0.1 = 1000, and 1000 FIT across 19,000
+// boards is 1e9/(1000·19000·24) ≈ 2.2 days between events.
+func TestTable2Golden(t *testing.T) {
+	mk := func(name string, sdc, crash int) *beam.Result {
+		return &beam.Result{
+			Benchmark: name, Runs: 1000, Device: "X",
+			Outcomes:     core.OutcomeCounts{Masked: 1000 - sdc - crash, SDC: sdc, DUECrash: crash},
+			RawFaultRate: 1e-5,
+		}
+	}
+	results := map[string]*beam.Result{
+		"DGEMM": mk("DGEMM", 100, 50),
+		"LUD":   mk("LUD", 200, 100),
+	}
+	got := trimLines(Table2(results).String())
+	want := trimLines(`Table 2 — extrapolated mean days between events at machine scale
+Benchmark  Event  FIT     Trinity 19k [days]  Exascale 190k [days]
+--------------------------------------------------------------------
+DGEMM      SDC    1000.0  2.2                 0.2
+DGEMM      DUE    500.0   4.4                 0.4
+LUD        SDC    2000.0  1.1                 0.1
+LUD        DUE    1000.0  2.2                 0.2`)
+	if got != want {
+		t.Fatalf("Table 2 render drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// trimLines drops trailing per-line whitespace so golden strings survive
+// editors that strip it from source files.
+func trimLines(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.TrimRight(strings.Join(lines, "\n"), "\n")
+}
+
+// TestRecommendationsGolden pins the mitigation table render: control (80%
+// harmful) ranks above matrix (60%), both clear the half-of-top cut, and
+// each carries its §6.1 catalogue advice.
+func TestRecommendationsGolden(t *testing.T) {
+	res := &core.CampaignResult{
+		Benchmark: "DGEMM",
+		ByRegion: map[state.Region]core.OutcomeCounts{
+			"control": {Masked: 20, SDC: 30, DUECrash: 50},
+			"matrix":  {Masked: 40, SDC: 50, DUECrash: 10},
+		},
+	}
+	got := trimLines(Recommendations(res, 10).String())
+	want := trimLines(`Mitigation recommendations — DGEMM (paper §6.1)
+Region   Technique                                                                          Rationale
+------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------
+control  selective duplication with comparison (DWC) on control variables                   small footprint, high DUE share; full ECC is overkill where a few cells dominate harm (paper §6 DGEMM)
+matrix   algorithm-based fault tolerance (ABFT) checksums or residue (mod-3/mod-15) checks  algebraic kernels can verify linear identities in O(n²); ABFT corrects single/line/random patterns in O(1) (paper §4.3, §6.1)`)
+	if got != want {
+		t.Fatalf("Recommendations render drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestScales(t *testing.T) {
 	q, f := Quick(), Full()
 	if q.BeamRuns >= f.BeamRuns || q.Injections >= f.Injections {

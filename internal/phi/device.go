@@ -11,6 +11,7 @@ package phi
 
 import (
 	"fmt"
+	"sort"
 
 	"phirel/internal/stats"
 )
@@ -120,6 +121,64 @@ func NewKNC3120A() *Device {
 		PDoubleBit:   0.004,
 		PBurstEscape: 0.002,
 	}
+}
+
+// NewKNC5110P builds the 3120A's denser sibling (60 cores, same KNC
+// microarchitecture and per-core arrays). The paper measured the 3120A; the
+// 5110P model extrapolates the same calibrated cross-section to the larger
+// resource inventory, giving the fleet sweep a second device arm.
+func NewKNC5110P() *Device {
+	const cores = 60
+	return &Device{
+		Name:           "Xeon Phi 5110P (KNC)",
+		Cores:          cores,
+		ThreadsPerCore: 4,
+		VectorBits:     512,
+		Resources: []Resource{
+			{Name: "L1", Class: SRAM, Bits: cores * 64 * 8 * 1024, ECC: SECDED},
+			{Name: "L2", Class: SRAM, Bits: cores * 512 * 8 * 1024, ECC: SECDED},
+			{Name: "vector-regfile", Class: VectorRegfile, Bits: cores * 32 * 512 * 4, ECC: NoECC},
+			{Name: "pipeline-ff", Class: Pipeline, Bits: 2.1 * mbit, ECC: NoECC},
+			{Name: "dispatch", Class: Scheduler, Bits: 0.53 * mbit, ECC: NoECC},
+			{Name: "ring", Class: Interconnect, Bits: 1.05 * mbit, ECC: NoECC},
+		},
+		SigmaBit:     sigmaBitKNC,
+		PDoubleBit:   0.004,
+		PBurstEscape: 0.002,
+	}
+}
+
+// deviceRegistry maps stable short keys (the JSON/CLI names) to device
+// constructors. Keys, not Device.Name strings, round-trip through sweep
+// artifacts.
+var deviceRegistry = map[string]func() *Device{
+	"KNC3120A": NewKNC3120A,
+	"KNC5110P": NewKNC5110P,
+}
+
+// DefaultDevice is the registry key of the paper's tested card.
+const DefaultDevice = "KNC3120A"
+
+// NewDevice builds a device by registry key ("" selects DefaultDevice).
+func NewDevice(key string) (*Device, error) {
+	if key == "" {
+		key = DefaultDevice
+	}
+	mk, ok := deviceRegistry[key]
+	if !ok {
+		return nil, fmt.Errorf("phi: unknown device %q (have %v)", key, DeviceNames())
+	}
+	return mk(), nil
+}
+
+// DeviceNames lists the registry keys, sorted.
+func DeviceNames() []string {
+	out := make([]string, 0, len(deviceRegistry))
+	for k := range deviceRegistry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // sigmaBitKNC is the calibrated per-bit cross-section. Derivation: the

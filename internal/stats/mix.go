@@ -1,0 +1,16 @@
+package stats
+
+// Mix64 derives the i-th stream seed from a master seed with a
+// splitmix64-style finaliser, so adjacent indices map to statistically
+// independent seeds. It is the single mixer behind every seed family in
+// phirel: engine trials (seed, trialIndex), fleet cells (masterSeed,
+// cellIndex), and the beam campaign's salted stream family. Changing this
+// function changes every published campaign result.
+func Mix64(seed, i uint64) uint64 {
+	x := seed ^ (i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}

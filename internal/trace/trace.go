@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Writer appends JSONL records to an io.Writer.
@@ -41,6 +42,45 @@ func WriteAll[T any](w *Writer, recs []T) error {
 		}
 	}
 	return nil
+}
+
+// CopyOrdered drains records from ch into w in sequence order, where seq
+// maps a record to its 0-based campaign index. Workers deliver interleaved,
+// so records are held in a pending map until their predecessors arrive; a
+// cancelled campaign leaves gaps in the sequence space, and the stragglers
+// are flushed in sorted order after ch closes so partial logs stay sorted.
+// The channel keeps draining after a write error (the engine must never
+// block on a dead consumer) and the first error is returned. Both campaign
+// CLIs (carol-fi, phi-beam) stream their JSONL logs through this.
+func CopyOrdered[T any](ch <-chan T, w *Writer, seq func(T) int) error {
+	var werr error
+	pending := map[int]T{}
+	next := 0
+	for rec := range ch {
+		pending[seq(rec)] = rec
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if werr == nil {
+				werr = w.Write(r)
+			}
+		}
+	}
+	rest := make([]int, 0, len(pending))
+	for s := range pending {
+		rest = append(rest, s)
+	}
+	sort.Ints(rest)
+	for _, s := range rest {
+		if werr == nil {
+			werr = w.Write(pending[s])
+		}
+	}
+	return werr
 }
 
 // Count returns the number of records written.
