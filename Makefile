@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt sweep bench-smoke
+.PHONY: build test race vet fmt sweep bench-smoke shard shard-merge shard-demo
 
 build:
 	$(GO) build ./...
@@ -34,8 +34,35 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# One set of quick-sweep parameters shared by the monolithic sweep job and
+# the sharded matrix legs, so their artifacts are byte-comparable.
+SWEEP_FLAGS ?= -n 200 -beam-runs 1000 -beam-ecc-ablation -workers 8
+
 # Quick-scale fleet sweep covering both experiment classes: injection cells
 # (all benchmarks × all four fault models) plus beam cells (beam suite ×
 # ECC ablation), exported as the same JSON artifact CI uploads.
 sweep:
-	$(GO) run ./cmd/phi-bench -sweep -n 200 -beam-runs 1000 -beam-ecc-ablation -workers 8 -out sweep.json
+	$(GO) run ./cmd/phi-bench -sweep $(SWEEP_FLAGS) -out sweep.json
+
+# One shard of the quick sweep (SHARD=k/K, 1-based), e.g.
+# `make shard SHARD=2/3` — the command each leg of the CI shard matrix runs.
+shard:
+	$(GO) run ./cmd/phi-bench -sweep $(SWEEP_FLAGS) -shard $(SHARD) -out sweep-shard-$(subst /,-of-,$(SHARD)).json
+
+# Folds every sweep-shard-*.json into sweep-merged.json and byte-compares it
+# against the monolithic artifact — the check the CI shard-merge job runs.
+shard-merge:
+	$(GO) run ./cmd/phi-merge -out sweep-merged.json sweep-shard-*.json
+	cmp sweep.json sweep-merged.json
+	@echo "shard merge is byte-identical to the monolithic sweep"
+
+# Runs the CI sharding matrix locally end to end: monolithic quick sweep,
+# three shards, merge, byte-diff. Mirrors the ci.yml shard/shard-merge jobs
+# one to one.
+shard-demo:
+	rm -f sweep-shard-*.json sweep-merged.json
+	$(MAKE) sweep
+	$(MAKE) shard SHARD=1/3
+	$(MAKE) shard SHARD=2/3
+	$(MAKE) shard SHARD=3/3
+	$(MAKE) shard-merge

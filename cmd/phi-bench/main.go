@@ -13,7 +13,11 @@
 //	phi-bench -sweep [-n 600] [-models Single,Double,Random,Zero]
 //	          [-policies by-frame] [-campaign-seed 1701] [-workers 8]
 //	          [-beam-runs 6000] [-beam-devices KNC3120A] [-beam-ecc-ablation]
-//	          [-out sweep.json]
+//	          [-shard k/K] [-out sweep.json]
+//
+// With -shard k/K (1-based) the sweep runs only the k-th of K deterministic
+// slices of every cell's trials; the K partials fold back into the
+// monolithic artifact, byte for byte, with cmd/phi-merge.
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 		policies  = flag.String("policies", "by-frame", "sweep: comma-separated site-selection policies")
 		campSeed  = flag.Uint64("campaign-seed", 1701, "sweep: master seed (cell seeds derive from it)")
 		workers   = flag.Int("workers", 8, "sweep: shared pool size")
+		shardArg  = flag.String("shard", "", "sweep: run shard k/K of every cell's trials (1-based, e.g. 2/3); merge partials with phi-merge")
 		out       = flag.String("out", "", "sweep: write SweepResult JSON here (CI artifact)")
 
 		beamRuns    = flag.Int("beam-runs", 0, "sweep: accelerated runs per beam cell (0 = no beam cells)")
@@ -63,6 +68,7 @@ func main() {
 			names: names, n: *n, models: *modelsArg, policies: *policies,
 			campSeed: *campSeed, benchSeed: *seed, workers: *workers, out: *out,
 			beamRuns: *beamRuns, beamDevices: *beamDevices, beamECC: *beamECC,
+			shard: *shardArg,
 		})
 		return
 	}
@@ -106,6 +112,20 @@ type sweepOpts struct {
 	beamRuns            int
 	beamDevices         string
 	beamECC             bool
+	shard               string
+}
+
+// parseShard parses the 1-based "k/K" shard syntax into a 0-based index
+// and a shard count. The round-trip comparison rejects trailing garbage
+// ("2/30x", "1/3/9"), which Sscanf alone would silently accept.
+func parseShard(s string) (k, count int, err error) {
+	if _, serr := fmt.Sscanf(s, "%d/%d", &k, &count); serr != nil || fmt.Sprintf("%d/%d", k, count) != s {
+		return 0, 0, fmt.Errorf("bad -shard %q: want k/K, e.g. 2/3", s)
+	}
+	if count < 1 || k < 1 || k > count {
+		return 0, 0, fmt.Errorf("bad -shard %q: k must be in 1..K", s)
+	}
+	return k - 1, count, nil
 }
 
 func runSweep(o sweepOpts) {
@@ -145,17 +165,34 @@ func runSweep(o sweepOpts) {
 		s.BeamBenchmarks = all.BeamSuite
 	}
 	start := time.Now()
-	res, err := s.Run(ctx)
-	if err != nil {
-		fatal(err)
+	var res *fleet.SweepResult
+	var err2 error
+	if o.shard != "" {
+		k, count, perr := parseShard(o.shard)
+		if perr != nil {
+			fatal(perr)
+		}
+		res, err2 = s.RunShard(ctx, k, count)
+	} else {
+		res, err2 = s.Run(ctx)
 	}
-	fmt.Fprintf(os.Stderr, "phi-bench: %d injection + %d beam cells in %s\n",
-		len(res.Cells), len(res.BeamCells), time.Since(start).Round(time.Millisecond))
+	if err2 != nil {
+		fatal(err2)
+	}
+	label := ""
+	if res.Shard != nil {
+		label = fmt.Sprintf(" (shard %s)", res.Shard)
+	}
+	fmt.Fprintf(os.Stderr, "phi-bench: %d injection + %d beam cells%s in %s\n",
+		len(res.Cells), len(res.BeamCells), label, time.Since(start).Round(time.Millisecond))
 
 	if len(res.Cells) > 0 {
 		t := report.NewTable("phirel fleet sweep (per-cell outcomes)",
 			"Benchmark", "Model", "Policy", "Masked %", "SDC %", "DUE %", "Fired %", "N")
 		for _, c := range res.Cells {
+			if c.Result == nil { // empty shard slice of this cell
+				continue
+			}
 			o := c.Result.Outcomes
 			t.AddRow(c.Benchmark, c.Model.String(), c.Policy.String(),
 				fmt.Sprintf("%.1f", o.MaskedShare().Percent()),
@@ -170,6 +207,9 @@ func runSweep(o sweepOpts) {
 		t := report.NewTable("phirel fleet sweep (per-beam-cell outcomes)",
 			"Benchmark", "Device", "ECC", "SDC FIT", "DUE FIT", "Corrected", "Runs")
 		for _, c := range res.BeamCells {
+			if c.Result == nil { // empty shard slice of this cell
+				continue
+			}
 			ecc := "on"
 			if c.DisableECC {
 				ecc = "off"

@@ -1,0 +1,47 @@
+// Command phi-merge folds shard-partial sweep artifacts — written by
+// phi-bench -sweep -shard k/K -out — back into one complete SweepResult,
+// byte-identical to the artifact a monolithic phi-bench -sweep run with the
+// same spec would have written. It validates before folding: every partial
+// of the K-way split must be present exactly once and all must carry the
+// same grid, seeds and trial counts; anything else (including passing an
+// already-merged artifact) is a hard error.
+//
+// Usage:
+//
+//	phi-merge -out sweep.json sweep-shard-1-of-3.json sweep-shard-2-of-3.json sweep-shard-3-of-3.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "phirel/internal/bench/all"
+	"phirel/internal/fleet"
+)
+
+func main() {
+	out := flag.String("out", "", "write the merged SweepResult JSON here (default: stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no shard files given; usage: phi-merge [-out sweep.json] sweep-shard-*.json"))
+	}
+	merged, err := fleet.MergeFiles(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		if err := merged.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else if err := merged.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "phi-merge: folded %d shards into %d injection + %d beam cells\n",
+		flag.NArg(), len(merged.Cells), len(merged.BeamCells))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phi-merge:", err)
+	os.Exit(1)
+}

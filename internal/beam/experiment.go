@@ -17,9 +17,16 @@ import (
 type Config struct {
 	// Benchmark is the registered workload name.
 	Benchmark string
-	// Runs is the number of accelerated runs; each receives exactly one
-	// raw fault (the paper tuned flux so multi-fault runs are negligible).
+	// Runs is the number of accelerated runs this campaign executes; each
+	// receives exactly one raw fault (the paper tuned flux so multi-fault
+	// runs are negligible).
 	Runs int
+	// Offset places the campaign in a global run index space: the campaign
+	// covers runs [Offset, Offset+Runs). Global run i always uses the RNG
+	// stream derived from (Seed ^ beamSeedSalt, i), so K shard campaigns
+	// partitioning the global space merge (via Result.Merge) bit-identically
+	// to one monolithic campaign.
+	Offset int
 	// Seed determinises the campaign; BenchSeed the workload inputs.
 	Seed, BenchSeed uint64
 	// Workers parallelises runs (results independent of worker count).
@@ -65,7 +72,10 @@ type Result struct {
 	Benchmark string
 	// Runs is the number of accelerated runs that completed — the
 	// configured Runs unless the campaign was cancelled.
-	Runs   int
+	Runs int
+	// Offset is the global index of the campaign's first run — zero for a
+	// monolithic campaign, the range start for a shard campaign.
+	Offset int `json:",omitempty"`
 	Device string
 	// ECCDisabled records the A2 ablation arm the campaign ran under.
 	ECCDisabled bool `json:",omitempty"`
@@ -225,6 +235,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	eres, err := engine.Run(ctx, engine.Config[Record, *shard]{
 		N:           cfg.Runs,
+		Offset:      cfg.Offset,
 		Seed:        cfg.Seed ^ beamSeedSalt,
 		Workers:     cfg.Workers,
 		KeepRecords: cfg.KeepRecords,
@@ -252,6 +263,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	res := &Result{
 		Benchmark:    cfg.Benchmark,
+		Offset:       cfg.Offset,
 		Device:       dev.Name,
 		ECCDisabled:  cfg.DisableECC,
 		SDCByPattern: map[analysis.Pattern]int{},

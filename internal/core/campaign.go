@@ -62,9 +62,16 @@ func (c OutcomeCounts) MaskedShare() stats.Proportion {
 type CampaignConfig struct {
 	// Benchmark is the registered workload name.
 	Benchmark string
-	// N is the number of injections (the paper uses >=10,000 per
-	// benchmark for ±1.96% error bars at 95% confidence).
+	// N is the number of injections this run executes (the paper uses
+	// >=10,000 per benchmark for ±1.96% error bars at 95% confidence).
 	N int
+	// Offset places the run in a global injection index space: the run
+	// covers injections [Offset, Offset+N). Global injection i always uses
+	// the RNG stream derived from (Seed, i) and the fault model
+	// Models[i%len(Models)], so K shard runs partitioning the global space
+	// merge (via CampaignResult.Merge) bit-identically to one monolithic
+	// campaign.
+	Offset int
 	// Models to cycle through (defaults to all four).
 	Models []fault.Model
 	// Policy selects victims (the zero value is ByFrameThenVariable, the
@@ -100,7 +107,10 @@ type CampaignResult struct {
 	Benchmark string
 	// N is the number of injections that completed — the configured N
 	// unless the campaign was cancelled.
-	N       int
+	N int
+	// Offset is the global index of the campaign's first injection — zero
+	// for a monolithic run, the range start for a shard run.
+	Offset  int `json:",omitempty"`
 	Windows int
 	Policy  state.Policy
 
@@ -196,6 +206,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 
 	eres, err := engine.Run(ctx, engine.Config[InjectionRecord, *shard]{
 		N:           cfg.N,
+		Offset:      cfg.Offset,
 		Seed:        cfg.Seed,
 		Workers:     cfg.Workers,
 		KeepRecords: cfg.KeepRecords,
@@ -224,6 +235,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResul
 
 	res := &CampaignResult{
 		Benchmark: cfg.Benchmark,
+		Offset:    cfg.Offset,
 		Windows:   windows,
 		Policy:    cfg.Policy,
 		ByModel:   map[fault.Model]OutcomeCounts{},

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	_ "phirel/internal/bench/all"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+)
+
+// shardCampaign runs the [off, off+n) slice of the canonical merge-test
+// campaign.
+func shardCampaign(t *testing.T, off, n int, keep bool) *CampaignResult {
+	t.Helper()
+	res, err := RunCampaign(CampaignConfig{
+		Benchmark: "DGEMM", N: n, Offset: off, Seed: 42, BenchSeed: 1,
+		Workers: 3, KeepRecords: keep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCampaignMergeShardsEqualsWhole is the sharding acceptance property at
+// the campaign layer: uneven shard runs partitioning [0, N) merge into a
+// result deep-equal to the monolithic campaign — every tally partition,
+// the fired-share proportion, and the kept records.
+func TestCampaignMergeShardsEqualsWhole(t *testing.T) {
+	whole := shardCampaign(t, 0, 60, true)
+	for _, cuts := range [][]int{
+		{0, 60},
+		{0, 25, 60},
+		{0, 7, 30, 41, 60},
+	} {
+		acc := shardCampaign(t, cuts[0], cuts[1]-cuts[0], true).Clone()
+		for i := 1; i+1 < len(cuts); i++ {
+			part := shardCampaign(t, cuts[i], cuts[i+1]-cuts[i], true)
+			if err := acc.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(whole, acc) {
+			t.Fatalf("cuts %v: merged shards differ from monolithic campaign:\n%+v\n%+v", cuts, whole, acc)
+		}
+	}
+}
+
+// TestCampaignMergePrepend checks the reverse adjacency: folding the
+// earlier range into the later one lands on the same result.
+func TestCampaignMergePrepend(t *testing.T) {
+	whole := shardCampaign(t, 0, 40, true)
+	acc := shardCampaign(t, 25, 15, true).Clone()
+	if err := acc.Merge(shardCampaign(t, 0, 25, true)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(whole, acc) {
+		t.Fatal("prepend merge differs from monolithic campaign")
+	}
+}
+
+func TestCampaignMergeClone(t *testing.T) {
+	a := shardCampaign(t, 0, 20, true)
+	c := a.Clone()
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.ByModel[fault.Single] = OutcomeCounts{Masked: 999}
+	c.Records[0].Seq = -1
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCampaignMergeValidation(t *testing.T) {
+	base := shardCampaign(t, 0, 10, false)
+	other := base.Clone()
+	other.Offset = 10
+	other.Benchmark = "LUD"
+	if err := base.Clone().Merge(other); err == nil {
+		t.Fatal("accepted cross-benchmark merge")
+	}
+	other = base.Clone()
+	other.Offset = 10
+	other.Policy = state.ByBytes
+	if err := base.Clone().Merge(other); err == nil {
+		t.Fatal("accepted cross-policy merge")
+	}
+	other = base.Clone()
+	other.Offset = 10
+	other.Windows = 3
+	if err := base.Clone().Merge(other); err == nil {
+		t.Fatal("accepted mismatched window counts")
+	}
+	// Overlapping and gapped ranges both break the contiguous-range
+	// algebra (a gap would misorder a later fold), so both are rejected.
+	if err := base.Clone().Merge(base.Clone()); err == nil {
+		t.Fatal("accepted overlapping ranges")
+	}
+	other = base.Clone()
+	other.Offset = 11
+	if err := base.Clone().Merge(other); err == nil {
+		t.Fatal("accepted gapped ranges")
+	}
+}

@@ -8,10 +8,12 @@
 // optional Stream channel for JSONL consumers — parameterised over the
 // experiment function and the record/aggregate types.
 //
-// Determinism contract: trial i always runs with the RNG stream
+// Determinism contract: global trial i always runs with the RNG stream
 // stats.NewRNG(stats.Mix64(Seed, i)) on some worker, and shard merging is
 // order-independent, so a completed campaign is bit-identical for any
-// worker count. Memory is O(Workers) unless KeepRecords is set.
+// worker count — and, via Config.Offset, K runs that partition the global
+// index space [0, total) reproduce one monolithic run exactly. Memory is
+// O(Workers) unless KeepRecords is set.
 package engine
 
 import (
@@ -31,9 +33,17 @@ type Experiment[R any] func(i int, rng *stats.RNG) R
 // Config parameterises a streaming campaign over record type R and
 // per-worker aggregate type A (typically a pointer to a shard struct).
 type Config[R, A any] struct {
-	// N is the number of trials.
+	// N is the number of trials this run executes.
 	N int
-	// Seed determinises the campaign: trial i uses stats.Mix64(Seed, i).
+	// Offset places the run in a global trial index space: the run covers
+	// trials [Offset, Offset+N). Trial i (global) always derives its RNG
+	// stream from stats.Mix64(Seed, i) regardless of which shard run
+	// executes it, so K runs partitioning [0, total) reproduce one
+	// monolithic run bit for bit. Experiment and Stream see global
+	// indices; Progress counts stay local to this run (done of N).
+	Offset int
+	// Seed determinises the campaign: global trial i uses
+	// stats.Mix64(Seed, i).
 	Seed uint64
 	// Workers sizes the pool (default 4, clamped to N). Completed results
 	// are independent of Workers.
@@ -42,7 +52,8 @@ type Config[R, A any] struct {
 	// mode that costs O(N) memory.
 	KeepRecords bool
 	// Progress, when non-nil, is invoked with (done, total) roughly every
-	// 1% of N and once at the end. Calls are serialised.
+	// 1% of N. Calls are serialised and done is monotone; a completed
+	// campaign always delivers a final (N, N) call.
 	Progress func(done, total int)
 	// Stream, when non-nil, receives every record as it is produced.
 	// Delivery order across workers is nondeterministic. The engine closes
@@ -88,6 +99,9 @@ func Run[R, A any](ctx context.Context, cfg Config[R, A]) (*Result[R, A], error)
 	}
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("engine: campaign needs N > 0")
+	}
+	if cfg.Offset < 0 {
+		return nil, fmt.Errorf("engine: trial offset %d is negative", cfg.Offset)
 	}
 	if cfg.NewWorker == nil || cfg.NewShard == nil || cfg.Fold == nil {
 		return nil, fmt.Errorf("engine: NewWorker, NewShard and Fold are required")
@@ -148,12 +162,15 @@ func Run[R, A any](ctx context.Context, cfg Config[R, A]) (*Result[R, A], error)
 				return
 			}
 			sh := shards[w]
-			for i := w; i < cfg.N; i += workers {
+			for li := w; li < cfg.N; li += workers {
 				select {
 				case <-ctx.Done():
 					return
 				default:
 				}
+				// The global index is the trial's identity — it keys the
+				// RNG stream, so the shard boundary never shifts a seed.
+				i := cfg.Offset + li
 				rng := stats.NewRNG(stats.Mix64(cfg.Seed, uint64(i)))
 				rec := run(i, rng)
 				// Deliver before folding (see Config.Stream).
@@ -166,8 +183,8 @@ func Run[R, A any](ctx context.Context, cfg Config[R, A]) (*Result[R, A], error)
 				}
 				cfg.Fold(sh, rec)
 				if cfg.KeepRecords {
-					records[i] = rec
-					have[i] = true
+					records[li] = rec
+					have[li] = true
 				}
 				if n := done.Add(1); cfg.Progress != nil && (n%stride == 0 || n == int64(cfg.N)) {
 					report(n)
@@ -180,6 +197,12 @@ func Run[R, A any](ctx context.Context, cfg Config[R, A]) (*Result[R, A], error)
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Completed campaigns always end on an exact (N, N) Progress call, even
+	// if the in-flight reporting raced: report dedupes, so the delivered
+	// sequence stays monotone and the final call is never doubled.
+	if cfg.Progress != nil && int(done.Load()) == cfg.N {
+		report(int64(cfg.N))
 	}
 
 	out := &Result[R, A]{Shards: shards, Done: int(done.Load())}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -196,5 +197,109 @@ func TestEngineValidation(t *testing.T) {
 	cfg.Fold = nil
 	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("accepted nil Fold")
+	}
+}
+
+// TestEngineOffsetGlobalIndices pins the sharding contract: a run covering
+// [Offset, Offset+N) hands the experiment global indices and derives each
+// trial's RNG stream from the global index, so the shard boundary never
+// shifts a seed.
+func TestEngineOffsetGlobalIndices(t *testing.T) {
+	cfg := config(10, 3)
+	cfg.Offset = 40
+	cfg.KeepRecords = true
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("kept %d records, want 10", len(res.Records))
+	}
+	for li, rec := range res.Records {
+		g := 40 + li
+		want := stats.NewRNG(stats.Mix64(99, uint64(g))).Uint64()
+		if rec.I != g || rec.V != want {
+			t.Fatalf("trial %d: got (%d,%#x), want (%d,%#x)", li, rec.I, rec.V, g, want)
+		}
+	}
+}
+
+// TestEngineShardPartitionMatchesMonolithic is the distribution seam's core
+// property: K offset runs partitioning [0, N) reproduce the monolithic run
+// record for record and tally for tally.
+func TestEngineShardPartitionMatchesMonolithic(t *testing.T) {
+	whole := config(101, 4)
+	whole.KeepRecords = true
+	mono, err := Run(context.Background(), whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []trial
+	var sum tally
+	for _, r := range []struct{ off, n int }{{0, 33}, {33, 40}, {73, 28}} {
+		cfg := config(r.n, 3)
+		cfg.Offset = r.off
+		cfg.KeepRecords = true
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, res.Records...)
+		m := merged(res)
+		sum.n += m.n
+		sum.sum += m.sum
+	}
+	if !reflect.DeepEqual(mono.Records, recs) {
+		t.Fatal("sharded records differ from monolithic run")
+	}
+	if sum != merged(mono) {
+		t.Fatalf("sharded tally %+v differs from monolithic %+v", sum, merged(mono))
+	}
+}
+
+func TestEngineNegativeOffsetRejected(t *testing.T) {
+	cfg := config(5, 1)
+	cfg.Offset = -1
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("accepted negative offset")
+	}
+}
+
+// TestEngineProgressSmallN is the progress-contract regression test: for
+// small campaigns (N < 100, where the reporting stride collapses to 1) the
+// delivered sequence must be strictly monotone, stay within [1, N], and end
+// with an exact final (N, N) call — for every worker count, including
+// workers > N.
+func TestEngineProgressSmallN(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 13, 60, 99} {
+		for _, workers := range []int{1, 4, 128} {
+			var (
+				mu    sync.Mutex
+				calls []int
+			)
+			cfg := config(n, workers)
+			cfg.Progress = func(done, total int) {
+				if total != n {
+					t.Errorf("N=%d workers=%d: total %d", n, workers, total)
+				}
+				mu.Lock()
+				calls = append(calls, done)
+				mu.Unlock()
+			}
+			if _, err := Run(context.Background(), cfg); err != nil {
+				t.Fatal(err)
+			}
+			if len(calls) == 0 || calls[len(calls)-1] != n {
+				t.Fatalf("N=%d workers=%d: final progress call %v, want %d", n, workers, calls, n)
+			}
+			for i := 1; i < len(calls); i++ {
+				if calls[i] <= calls[i-1] {
+					t.Fatalf("N=%d workers=%d: progress not strictly monotone: %v", n, workers, calls)
+				}
+			}
+			if calls[0] < 1 {
+				t.Fatalf("N=%d workers=%d: progress below 1: %v", n, workers, calls)
+			}
+		}
 	}
 }

@@ -115,6 +115,9 @@ type SweepResult struct {
 	Spec      Sweep            `json:"spec"`
 	Cells     []CellResult     `json:"cells,omitempty"`
 	BeamCells []BeamCellResult `json:"beamCells,omitempty"`
+	// Shard tags a partial produced by RunShard with its position in the
+	// shard plan; nil for a monolithic or merged result.
+	Shard *ShardPlan `json:"shard,omitempty"`
 }
 
 // beamGridSalt decouples beam cell seeds from the injection grid: beam cell
@@ -214,6 +217,13 @@ func (s Sweep) BeamCells() []BeamCellSpec {
 // byte-identical SweepResults. On error or cancellation the whole pool
 // drains and the first error (or ctx.Err()) is returned.
 func (s Sweep) Run(ctx context.Context) (*SweepResult, error) {
+	return s.run(ctx, nil)
+}
+
+// run executes the sweep, restricted to plan's per-cell trial ranges when
+// plan is non-nil (the RunShard path; nil means every cell runs in full).
+// A cell whose range is empty completes immediately with a nil Result.
+func (s Sweep) run(ctx context.Context, plan *ShardPlan) (*SweepResult, error) {
 	ns := s.normalized()
 	if ns.N <= 0 && ns.BeamRuns <= 0 {
 		return nil, fmt.Errorf("fleet: sweep needs N > 0 or BeamRuns > 0")
@@ -239,6 +249,13 @@ func (s Sweep) Run(ctx context.Context) (*SweepResult, error) {
 
 	cells := ns.Cells()
 	beamCells := ns.BeamCells()
+	// Every cell of a kind runs the same trial range: the shard seam cuts
+	// each cell's [0, N) trial space, never the grid.
+	injRange := TrialRange{Offset: 0, N: ns.N}
+	beamRange := TrialRange{Offset: 0, N: ns.BeamRuns}
+	if plan != nil {
+		injRange, beamRange = plan.Injection, plan.Beam
+	}
 	// Keep absent cell kinds nil, not empty, so SweepResults survive a
 	// JSON round-trip (omitempty drops empty slices) byte-identically.
 	var out []CellResult
@@ -292,9 +309,17 @@ func (s Sweep) Run(ctx context.Context) (*SweepResult, error) {
 	runJob := func(i int) {
 		if i < len(cells) {
 			c := cells[i]
+			if injRange.N == 0 {
+				// This shard's slice of the cell is empty; the spec still
+				// lands in the partial so merge validation sees the grid.
+				out[i] = CellResult{CellSpec: c}
+				finish(nil, "")
+				return
+			}
 			res, err := core.RunCampaignContext(ctx, core.CampaignConfig{
 				Benchmark: c.Benchmark,
-				N:         ns.N,
+				N:         injRange.N,
+				Offset:    injRange.Offset,
 				Models:    []fault.Model{c.Model},
 				Policy:    c.Policy,
 				Seed:      c.Seed,
@@ -309,12 +334,18 @@ func (s Sweep) Run(ctx context.Context) (*SweepResult, error) {
 		}
 		j := i - len(cells)
 		c := beamCells[j]
+		if beamRange.N == 0 {
+			beamOut[j] = BeamCellResult{BeamCellSpec: c}
+			finish(nil, "")
+			return
+		}
 		dev, err := phi.NewDevice(c.Device)
 		if err == nil {
 			var res *beam.Result
 			res, err = beam.RunContext(ctx, beam.Config{
 				Benchmark:  c.Benchmark,
-				Runs:       ns.BeamRuns,
+				Runs:       beamRange.N,
+				Offset:     beamRange.Offset,
 				Seed:       c.Seed,
 				BenchSeed:  ns.BenchSeed,
 				Workers:    1,
@@ -358,7 +389,7 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return &SweepResult{Spec: ns, Cells: out, BeamCells: beamOut}, nil
+	return &SweepResult{Spec: ns, Cells: out, BeamCells: beamOut, Shard: plan}, nil
 }
 
 // BeamFor returns the sweep's beam results for one (device, ECC arm) pair,

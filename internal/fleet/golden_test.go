@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"testing"
+
+	"phirel/internal/core"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+)
+
+// TestCellSeedFamiliesGolden locks both derived per-cell seed families to
+// published values, so released sweep artifacts stay reproducible from
+// their master seed alone: injection cell i draws core.DeriveSeed(Seed, i)
+// and beam cell j draws the beamGridSalt-salted family
+// stats.Mix64(Seed^beamGridSalt, j). If this test breaks, every published
+// sweep's cell seeds silently shift — change the constants only with a
+// versioned migration of the artifact format.
+func TestCellSeedFamiliesGolden(t *testing.T) {
+	if beamGridSalt != 0x6265616d67726964 {
+		t.Fatalf("beamGridSalt = %#x, want 0x6265616d67726964 (\"beamgrid\")", uint64(beamGridSalt))
+	}
+	injGolden := []uint64{
+		0xcd85085eb37ceb2d,
+		0x6dd74e29c05368fd,
+		0x9b7d942f372e856f,
+		0xa779e31fa622a84f,
+	}
+	for i, want := range injGolden {
+		if got := core.DeriveSeed(1701, uint64(i)); got != want {
+			t.Fatalf("DeriveSeed(1701, %d) = %#016x, want %#016x", i, got, want)
+		}
+	}
+	s := Sweep{
+		Benchmarks: []string{"DGEMM", "LUD"},
+		Models:     []fault.Model{fault.Single, fault.Zero},
+		Policies:   []state.Policy{state.ByFrameThenVariable},
+		N:          1,
+		Seed:       1701,
+	}
+	for i, c := range s.Cells() {
+		if c.Seed != injGolden[i] {
+			t.Fatalf("injection cell %d seeded %#016x, want %#016x", i, c.Seed, injGolden[i])
+		}
+	}
+	beamGolden := []uint64{
+		0x22ef822cd2cedd2a,
+		0x1ca7474dd4ceaa2c,
+		0xc908212238071962,
+		0xa60806800cd53239,
+	}
+	b := Sweep{
+		BeamRuns:        1,
+		BeamBenchmarks:  []string{"DGEMM", "LUD"},
+		BeamECCAblation: true,
+		Seed:            1701,
+	}
+	cells := b.BeamCells()
+	if len(cells) != len(beamGolden) {
+		t.Fatalf("beam grid has %d cells, want %d", len(cells), len(beamGolden))
+	}
+	for j, c := range cells {
+		if c.Seed != beamGolden[j] {
+			t.Fatalf("beam cell %d seeded %#016x, want %#016x", j, c.Seed, beamGolden[j])
+		}
+	}
+}

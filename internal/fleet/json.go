@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,10 +20,15 @@ func (r *SweepResult) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// ReadJSON deserialises a sweep result written by WriteJSON.
+// ReadJSON deserialises a sweep result written by WriteJSON. A truncated
+// stream (an interrupted phi-bench, a half-uploaded artifact) is reported
+// as such instead of surfacing a bare syntax error.
 func ReadJSON(r io.Reader) (*SweepResult, error) {
 	var out SweepResult
 	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("fleet: sweep JSON is truncated or empty: %w", err)
+		}
 		return nil, fmt.Errorf("fleet: decode sweep: %w", err)
 	}
 	return &out, nil
@@ -41,12 +47,34 @@ func (r *SweepResult) WriteFile(path string) error {
 	return f.Close()
 }
 
-// ReadFile reads a sweep result from path.
+// ReadFile reads a complete sweep result from path. Missing and truncated
+// files error, and so does a shard partial written by phi-bench -shard:
+// rendering one shard as if it were the campaign would silently misreport
+// every figure, so partials must go through phi-merge (or MergeFiles)
+// first.
 func ReadFile(path string) (*SweepResult, error) {
+	r, err := readSweepFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if r.Shard != nil {
+		return nil, fmt.Errorf("fleet: %s is unmerged shard partial %s of a sweep; fold the %d shards with phi-merge first",
+			path, r.Shard, r.Shard.Count)
+	}
+	return r, nil
+}
+
+// readSweepFile reads a sweep result — complete or shard-partial — from
+// path, decorating errors with the path.
+func readSweepFile(path string) (*SweepResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	defer f.Close()
-	return ReadJSON(f)
+	r, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return r, nil
 }

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"phirel/internal/beam"
+	"phirel/internal/core"
+)
+
+// TrialRange is a contiguous slice [Offset, Offset+N) of a cell's global
+// trial index space.
+type TrialRange struct {
+	Offset int `json:"offset"`
+	N      int `json:"n"`
+}
+
+// ShardPlan describes shard Index of Count for a sweep: every injection
+// cell runs its Injection trial range and every beam cell its Beam range.
+// Cell enumeration and per-cell seed derivation are untouched by sharding —
+// a shard sees the exact grid (and seeds) of the monolithic sweep and runs
+// a contiguous slice of every cell, so trial i of any cell lands on the
+// same RNG stream no matter which shard executes it.
+type ShardPlan struct {
+	// Index is the 0-based shard index.
+	Index int `json:"index"`
+	// Count is the total shard count K.
+	Count int `json:"count"`
+	// Injection is this shard's trial range of every injection cell.
+	Injection TrialRange `json:"injection"`
+	// Beam is this shard's run range of every beam cell.
+	Beam TrialRange `json:"beam"`
+}
+
+// String renders the plan's position as the 1-based "k/K" the CLI uses.
+func (p ShardPlan) String() string { return fmt.Sprintf("%d/%d", p.Index+1, p.Count) }
+
+// shardRange splits [0, n) into count balanced contiguous ranges (sizes
+// differ by at most one) and returns the k-th. Empty ranges are possible
+// when n < count.
+func shardRange(n, k, count int) TrialRange {
+	lo := n * k / count
+	hi := n * (k + 1) / count
+	return TrialRange{Offset: lo, N: hi - lo}
+}
+
+// Plan returns shard k (0-based) of count for the sweep. The K plans of a
+// sweep partition every cell's trial space exactly.
+func (s Sweep) Plan(k, count int) (ShardPlan, error) {
+	if count < 1 || k < 0 || k >= count {
+		return ShardPlan{}, fmt.Errorf("fleet: shard %d/%d out of range", k+1, count)
+	}
+	ns := s.normalized()
+	return ShardPlan{
+		Index:     k,
+		Count:     count,
+		Injection: shardRange(ns.N, k, count),
+		Beam:      shardRange(ns.BeamRuns, k, count),
+	}, nil
+}
+
+// RunShard executes shard k (0-based) of count: the full grid of both cell
+// kinds, each cell restricted to its ShardPlan trial range (a cell whose
+// range is empty lands in the partial with a nil Result). The returned
+// SweepResult is tagged with the plan; MergeSweepResults folds the K
+// partials into a result bit-identical to Run with the same spec.
+func (s Sweep) RunShard(ctx context.Context, k, count int) (*SweepResult, error) {
+	plan, err := s.Plan(k, count)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, &plan)
+}
+
+// MergeSweepResults folds the shard partials of one sweep back into a
+// complete SweepResult, bit-identical (struct and JSON) to the monolithic
+// Sweep.Run with the same spec. Before folding it validates compatibility:
+// every part must be a RunShard partial of the same shard count, the shard
+// indices must cover 0..K-1 exactly once, the normalised specs (grid,
+// seeds, trial counts — Workers and Progress are execution details and may
+// differ per shard) must be equal, each part's recorded cell specs must
+// match the grid the shared spec derives, and each part's plan must be the
+// one the spec derives for its index. Parts are folded in shard order, so
+// callers may pass them in any order.
+func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("fleet: no sweep partials to merge")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("fleet: sweep partial %d is nil", i)
+		}
+		if p.Shard == nil {
+			return nil, fmt.Errorf("fleet: sweep %d is not a shard partial (already merged or monolithic)", i)
+		}
+	}
+	ps := append([]*SweepResult(nil), parts...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Shard.Index < ps[j].Shard.Index })
+
+	count := ps[0].Shard.Count
+	if len(ps) != count {
+		return nil, fmt.Errorf("fleet: got %d shard partials, want %d", len(ps), count)
+	}
+	// Workers and Progress are execution details, not part of a result's
+	// identity (the engine's worker-independence contract), so shards run
+	// on heterogeneous machines with different pool sizes still merge.
+	spec := ps[0].Spec
+	spec.Progress = nil
+	spec.Workers = 0
+	for i, p := range ps {
+		if p.Shard.Count != count {
+			return nil, fmt.Errorf("fleet: shard %s split %d ways, others %d", p.Shard, p.Shard.Count, count)
+		}
+		if p.Shard.Index != i {
+			return nil, fmt.Errorf("fleet: shard %d/%d is duplicated or missing", i+1, count)
+		}
+		sp := p.Spec
+		sp.Progress = nil
+		sp.Workers = 0
+		if !reflect.DeepEqual(spec, sp) {
+			return nil, fmt.Errorf("fleet: shard %s ran a different sweep spec (grid, seeds or trial counts)", p.Shard)
+		}
+		plan, err := spec.Plan(p.Shard.Index, count)
+		if err != nil {
+			return nil, err
+		}
+		if *p.Shard != plan {
+			return nil, fmt.Errorf("fleet: shard %s plan %+v does not match the spec's %+v", p.Shard, *p.Shard, plan)
+		}
+	}
+
+	grid := spec.Cells()
+	beamGrid := spec.BeamCells()
+	out := &SweepResult{Spec: ps[0].Spec}
+	if len(grid) > 0 {
+		out.Cells = make([]CellResult, len(grid))
+	}
+	if len(beamGrid) > 0 {
+		out.BeamCells = make([]BeamCellResult, len(beamGrid))
+	}
+	for i, c := range grid {
+		var acc *core.CampaignResult
+		for _, p := range ps {
+			if len(p.Cells) != len(grid) {
+				return nil, fmt.Errorf("fleet: shard %s has %d injection cells, grid has %d", p.Shard, len(p.Cells), len(grid))
+			}
+			if p.Cells[i].CellSpec != c {
+				return nil, fmt.Errorf("fleet: shard %s cell %d is %+v, grid says %+v", p.Shard, i, p.Cells[i].CellSpec, c)
+			}
+			r := p.Cells[i].Result
+			if r == nil {
+				continue
+			}
+			if acc == nil {
+				acc = r.Clone()
+				continue
+			}
+			if err := acc.Merge(r); err != nil {
+				return nil, fmt.Errorf("fleet: cell %s/%s/%s: %w", c.Benchmark, c.Model, c.Policy, err)
+			}
+		}
+		if acc == nil {
+			return nil, fmt.Errorf("fleet: cell %s/%s/%s has no results in any shard", c.Benchmark, c.Model, c.Policy)
+		}
+		out.Cells[i] = CellResult{CellSpec: c, Result: acc}
+	}
+	for j, c := range beamGrid {
+		var acc *beam.Result
+		for _, p := range ps {
+			if len(p.BeamCells) != len(beamGrid) {
+				return nil, fmt.Errorf("fleet: shard %s has %d beam cells, grid has %d", p.Shard, len(p.BeamCells), len(beamGrid))
+			}
+			if p.BeamCells[j].BeamCellSpec != c {
+				return nil, fmt.Errorf("fleet: shard %s beam cell %d is %+v, grid says %+v", p.Shard, j, p.BeamCells[j].BeamCellSpec, c)
+			}
+			r := p.BeamCells[j].Result
+			if r == nil {
+				continue
+			}
+			if acc == nil {
+				acc = r.Clone()
+				continue
+			}
+			if err := acc.Merge(r); err != nil {
+				return nil, fmt.Errorf("fleet: beam cell %s/%s/ecc=%v: %w", c.Benchmark, c.Device, !c.DisableECC, err)
+			}
+		}
+		if acc == nil {
+			return nil, fmt.Errorf("fleet: beam cell %s/%s/ecc=%v has no results in any shard", c.Benchmark, c.Device, !c.DisableECC)
+		}
+		out.BeamCells[j] = BeamCellResult{BeamCellSpec: c, Result: acc}
+	}
+	return out, nil
+}
+
+// MergeFiles reads shard-partial sweep artifacts (phi-bench -sweep -shard
+// k/K -out) and folds them with MergeSweepResults — the library form of
+// cmd/phi-merge.
+func MergeFiles(paths ...string) (*SweepResult, error) {
+	parts := make([]*SweepResult, 0, len(paths))
+	for _, path := range paths {
+		p, err := readSweepFile(path)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return MergeSweepResults(parts...)
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// mergeFixture draws a deterministic stream of observations with spread,
+// outliers and repeats — the shapes a sharded campaign's error streams take.
+func mergeFixture(n int) []float64 {
+	rng := NewRNG(12345)
+	out := make([]float64, n)
+	for i := range out {
+		x := rng.Float64()*4 - 1 // [-1, 3): exercises under/overflow bins too
+		if i%17 == 0 {
+			x *= 50 // outliers stretch min/max and the histogram overflow
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// assertSummariesMatch compares every exposed moment; N is exact, the
+// floating-point moments up to combination rounding.
+func assertSummariesMatch(t *testing.T, label string, want, got *Summary) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("%s: N %d, want %d", label, got.N(), want.N())
+	}
+	for _, m := range []struct {
+		name       string
+		want, have float64
+	}{
+		{"mean", want.Mean(), got.Mean()},
+		{"var", want.Var(), got.Var()},
+		{"min", want.Min(), got.Min()},
+		{"max", want.Max(), got.Max()},
+	} {
+		if !approxEq(m.want, m.have) {
+			t.Fatalf("%s: %s %g, want %g", label, m.name, m.have, m.want)
+		}
+	}
+}
+
+// TestSummaryMergeSplitsEqualWhole: folding any split of a stream equals
+// summarising the whole stream — the property that makes per-shard
+// summaries safe to recombine.
+func TestSummaryMergeSplitsEqualWhole(t *testing.T) {
+	data := mergeFixture(1000)
+	var whole Summary
+	for _, x := range data {
+		whole.Add(x)
+	}
+	for _, cuts := range [][]int{
+		{0, 1000},
+		{0, 500, 1000},
+		{0, 1, 999, 1000},
+		{0, 137, 137, 400, 1000}, // includes an empty split
+	} {
+		var acc Summary
+		for i := 0; i+1 < len(cuts); i++ {
+			var part Summary
+			for _, x := range data[cuts[i]:cuts[i+1]] {
+				part.Add(x)
+			}
+			acc.Merge(&part)
+		}
+		assertSummariesMatch(t, "splits", &whole, &acc)
+	}
+}
+
+// TestSummaryMergeOrderIndependent: the fold order of shard summaries must
+// not change the combined moments (beyond rounding).
+func TestSummaryMergeOrderIndependent(t *testing.T) {
+	data := mergeFixture(900)
+	parts := make([]*Summary, 3)
+	for i := range parts {
+		parts[i] = &Summary{}
+		for _, x := range data[i*300 : (i+1)*300] {
+			parts[i].Add(x)
+		}
+	}
+	var fwd, rev Summary
+	for i := 0; i < 3; i++ {
+		fwd.Merge(parts[i])
+		rev.Merge(parts[2-i])
+	}
+	assertSummariesMatch(t, "order", &fwd, &rev)
+}
+
+func histOf(data []float64) *Histogram {
+	h := NewHistogram(0, 2, 16)
+	for _, x := range data {
+		h.Add(x)
+	}
+	return h
+}
+
+// TestHistogramMergeSplitsEqualWhole: histogram merging is exact — any
+// split of the stream folds back bin-for-bin, including under/overflow.
+func TestHistogramMergeSplitsEqualWhole(t *testing.T) {
+	data := mergeFixture(1000)
+	whole := histOf(data)
+	for _, cuts := range [][]int{
+		{0, 1000},
+		{0, 333, 1000},
+		{0, 250, 250, 600, 1000}, // includes an empty split
+	} {
+		acc := histOf(nil)
+		for i := 0; i+1 < len(cuts); i++ {
+			if err := acc.Merge(histOf(data[cuts[i]:cuts[i+1]])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(whole, acc) {
+			t.Fatalf("cuts %v: merged histogram differs from whole:\n%+v\n%+v", cuts, whole, acc)
+		}
+		if acc.Total() != whole.Total() {
+			t.Fatalf("cuts %v: total %d, want %d", cuts, acc.Total(), whole.Total())
+		}
+	}
+}
+
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	data := mergeFixture(600)
+	a := histOf(data[:200])
+	b := histOf(data[200:350])
+	c := histOf(data[350:])
+	fwd, rev := histOf(nil), histOf(nil)
+	for _, h := range []*Histogram{a, b, c} {
+		if err := fwd.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range []*Histogram{c, b, a} {
+		if err := rev.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Fatal("merge order changed the histogram")
+	}
+}
+
+func TestHistogramMergeBinningMismatch(t *testing.T) {
+	base := NewHistogram(0, 2, 16)
+	for _, bad := range []*Histogram{
+		NewHistogram(0.5, 2, 16), // different Lo
+		NewHistogram(0, 3, 16),   // different Hi
+		NewHistogram(0, 2, 8),    // different bin count
+	} {
+		if err := base.Merge(bad); err == nil {
+			t.Fatalf("accepted mismatched binning %+v", bad)
+		}
+	}
+	if base.Total() != 0 {
+		t.Fatal("failed merges mutated the receiver")
+	}
+}

@@ -130,6 +130,24 @@ func (h *Histogram) Add(x float64) {
 // Total returns the number of observations including under/overflow.
 func (h *Histogram) Total() int { return h.total }
 
+// Merge folds another histogram into h, completing the mergeable-aggregate
+// algebra alongside Summary.Merge: a merge of split streams equals the
+// whole, in any merge order. The binnings must match exactly — folding
+// mismatched bins would silently redistribute mass, so it errors instead.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Counts) != len(h.Counts) {
+		return fmt.Errorf("stats: histogram binning mismatch: [%g,%g) over %d bins vs [%g,%g) over %d bins",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	h.total += o.total
+	return nil
+}
+
 // BinCenter returns the midpoint of bin i.
 func (h *Histogram) BinCenter(i int) float64 {
 	w := (h.Hi - h.Lo) / float64(len(h.Counts))
