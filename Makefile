@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt sweep bench-smoke shard shard-merge shard-demo
+.PHONY: build test race vet fmt sweep bench-smoke shard shard-merge shard-demo \
+	worker-bin fleet-check fleet-demo nightly-sweep ci
+
+# The exact PR-gating sequence CI runs, as one local command.
+ci: fmt vet build test race bench-smoke fleet-demo
 
 build:
 	$(GO) build ./...
@@ -20,7 +24,8 @@ test:
 # (plain `make test` still runs everything at full size).
 race:
 	$(GO) test -race -short -timeout 15m -run 'Engine|Deterministic|Cancel|Stream|Progress|Sweep' \
-		./internal/engine/... ./internal/core/... ./internal/beam/... ./internal/fleet/...
+		./internal/engine/... ./internal/core/... ./internal/beam/... ./internal/fleet/... \
+		./internal/distrib/...
 
 # Runs every figure/ablation benchmark exactly once — a smoke test that the
 # experiment index still executes, so engine regressions surface in CI.
@@ -56,9 +61,10 @@ shard-merge:
 	cmp sweep.json sweep-merged.json
 	@echo "shard merge is byte-identical to the monolithic sweep"
 
-# Runs the CI sharding matrix locally end to end: monolithic quick sweep,
-# three shards, merge, byte-diff. Mirrors the ci.yml shard/shard-merge jobs
-# one to one.
+# Runs the hand-rolled sharding loop locally end to end: monolithic quick
+# sweep, three shards, merge, byte-diff. fleet-demo does the same through
+# the phi-fleet driver and is what CI now runs; this stays as the
+# spelled-out form of what the driver automates.
 shard-demo:
 	rm -f sweep-shard-*.json sweep-merged.json
 	$(MAKE) sweep
@@ -66,3 +72,47 @@ shard-demo:
 	$(MAKE) shard SHARD=2/3
 	$(MAKE) shard SHARD=3/3
 	$(MAKE) shard-merge
+
+# Shard workers are exec'd as subprocesses, so the fleet targets build a
+# real phi-bench binary first instead of racing N concurrent `go run`
+# compiles.
+worker-bin:
+	$(GO) build -o bin/phi-bench ./cmd/phi-bench
+
+# Byte-diffs a phi-fleet fan-out against an existing monolithic sweep.json.
+# The CI fleet-demo job downloads sweep.json from the sweep job instead of
+# recomputing it; `make fleet-demo` produces it locally first.
+FLEET_SHARDS ?= 3
+fleet-check:
+	rm -rf sweep-fleet.json sweep-cli-merged.json fleet-work
+	$(MAKE) worker-bin
+	$(GO) run ./cmd/phi-fleet -shards $(FLEET_SHARDS) $(SWEEP_FLAGS) \
+		-worker-cmd bin/phi-bench -dir fleet-work -retries 1 -quiet -out sweep-fleet.json
+	cmp sweep.json sweep-fleet.json
+	$(GO) run ./cmd/phi-merge -out sweep-cli-merged.json 'fleet-work/sweep-shard-*.json'
+	cmp sweep.json sweep-cli-merged.json
+	@echo "phi-fleet $(FLEET_SHARDS)-way fan-out and the phi-merge CLI refold are byte-identical to the monolithic sweep"
+
+# 3-way local fan-out through the phi-fleet driver, byte-diffed against the
+# monolithic quick-sweep artifact — the full local form of the CI
+# sweep + fleet-demo pair (which replaced the hand-rolled shard matrix +
+# shard-merge shell steps).
+fleet-demo:
+	rm -f sweep.json
+	$(MAKE) sweep
+	$(MAKE) fleet-check
+
+# Paper-grade scheduled sweep (nightly-sweep.yml): N >= 10,000 injections
+# per cell fanned 10 ways, then the same seed fanned 5 ways, and the two
+# merged artifacts byte-diffed — shard-count invariance proven at the scale
+# the paper's campaigns actually run at.
+NIGHTLY_FLAGS ?= -n 10000 -beam-runs 10000 -beam-ecc-ablation -workers 2
+nightly-sweep:
+	rm -rf sweep-nightly.json sweep-nightly-5way.json nightly-10 nightly-5
+	$(MAKE) worker-bin
+	$(GO) run ./cmd/phi-fleet -shards 10 $(NIGHTLY_FLAGS) -worker-cmd bin/phi-bench \
+		-dir nightly-10 -retries 2 -quiet -out sweep-nightly.json
+	$(GO) run ./cmd/phi-fleet -shards 5 $(NIGHTLY_FLAGS) -worker-cmd bin/phi-bench \
+		-dir nightly-5 -retries 2 -quiet -out sweep-nightly-5way.json
+	cmp sweep-nightly.json sweep-nightly-5way.json
+	@echo "10-way and 5-way paper-grade artifacts are byte-identical"

@@ -14,69 +14,63 @@
 //	          [-policies by-frame] [-campaign-seed 1701] [-workers 8]
 //	          [-beam-runs 6000] [-beam-devices KNC3120A] [-beam-ecc-ablation]
 //	          [-shard k/K] [-out sweep.json]
+//	phi-bench -spec spec.json [-shard k/K] [-progress-jsonl] [-out -]
 //
 // With -shard k/K (1-based) the sweep runs only the k-th of K deterministic
 // slices of every cell's trials; the K partials fold back into the
 // monolithic artifact, byte for byte, with cmd/phi-merge.
+//
+// With -spec the whole sweep grid comes from a fleet spec JSON file ("-"
+// reads stdin) instead of the grid flags — the shard-worker protocol
+// cmd/phi-fleet drives. -progress-jsonl switches stderr progress to
+// machine-readable JSONL events (one internal/distrib.Event per line), and
+// -out - streams the artifact to stdout (suppressing the per-cell tables),
+// so a remote worker needs no filesystem handshake at all.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"time"
 
 	"phirel/internal/bench"
-	"phirel/internal/bench/all"
-	"phirel/internal/fault"
+	_ "phirel/internal/bench/all"
+	"phirel/internal/cli"
+	"phirel/internal/distrib"
 	"phirel/internal/fleet"
 	"phirel/internal/report"
-	"phirel/internal/state"
 )
 
 func main() {
+	var grid cli.SweepFlags
+	grid.Register(flag.CommandLine, "sweep: ")
 	var (
-		benchName = flag.String("bench", "all", "benchmark name or 'all'")
-		seed      = flag.Uint64("seed", 1, "workload input seed")
-		reps      = flag.Int("reps", 3, "timing repetitions")
+		reps = flag.Int("reps", 3, "timing repetitions")
 
 		sweep     = flag.Bool("sweep", false, "run a fleet sweep instead of golden runs")
-		n         = flag.Int("n", 600, "sweep: injections per grid cell")
-		modelsArg = flag.String("models", "", "sweep: comma-separated fault models (default: all four)")
-		policies  = flag.String("policies", "by-frame", "sweep: comma-separated site-selection policies")
-		campSeed  = flag.Uint64("campaign-seed", 1701, "sweep: master seed (cell seeds derive from it)")
-		workers   = flag.Int("workers", 8, "sweep: shared pool size")
 		shardArg  = flag.String("shard", "", "sweep: run shard k/K of every cell's trials (1-based, e.g. 2/3); merge partials with phi-merge")
-		out       = flag.String("out", "", "sweep: write SweepResult JSON here (CI artifact)")
-
-		beamRuns    = flag.Int("beam-runs", 0, "sweep: accelerated runs per beam cell (0 = no beam cells)")
-		beamDevices = flag.String("beam-devices", "", "sweep: comma-separated phi device keys (default: KNC3120A)")
-		beamECC     = flag.Bool("beam-ecc-ablation", false, "sweep: add a SECDED-disabled arm per beam cell (A2)")
+		out       = flag.String("out", "", "sweep: write SweepResult JSON here ('-' = stdout, suppressing tables)")
+		specArg   = flag.String("spec", "", "sweep: read the whole sweep spec from this fleet spec JSON file ('-' = stdin) instead of the grid flags; implies -sweep")
+		progJSONL = flag.Bool("progress-jsonl", false, "sweep: emit machine-readable JSONL progress events on stderr (the phi-fleet protocol)")
 	)
 	flag.Parse()
 
-	names := all.Suite
-	if *benchName != "all" {
-		names = []string{*benchName}
-	}
-
-	if *sweep {
+	if *sweep || *specArg != "" {
 		runSweep(sweepOpts{
-			names: names, n: *n, models: *modelsArg, policies: *policies,
-			campSeed: *campSeed, benchSeed: *seed, workers: *workers, out: *out,
-			beamRuns: *beamRuns, beamDevices: *beamDevices, beamECC: *beamECC,
-			shard: *shardArg,
+			grid: &grid, out: *out,
+			shard: *shardArg, spec: *specArg, progressJSONL: *progJSONL,
 		})
 		return
 	}
 
 	t := report.NewTable("phirel workload suite (golden runs)",
 		"Benchmark", "Class", "Output", "Ticks", "Windows", "Work units", "Wall/run")
-	for _, name := range names {
-		b, err := bench.New(name, *seed)
+	for _, name := range grid.Names() {
+		b, err := bench.New(name, grid.Seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,16 +97,11 @@ func main() {
 }
 
 type sweepOpts struct {
-	names               []string
-	n                   int
-	models, policies    string
-	campSeed, benchSeed uint64
-	workers             int
-	out                 string
-	beamRuns            int
-	beamDevices         string
-	beamECC             bool
-	shard               string
+	grid          *cli.SweepFlags
+	out           string
+	shard         string
+	spec          string
+	progressJSONL bool
 }
 
 // parseShard parses the 1-based "k/K" shard syntax into a 0-based index
@@ -129,55 +118,41 @@ func parseShard(s string) (k, count int, err error) {
 }
 
 func runSweep(o sweepOpts) {
-	models, err := fault.ParseModels(o.models)
+	s, err := o.grid.LoadSweep(o.spec, os.Stdin, cli.WorkersSet(flag.CommandLine))
 	if err != nil {
 		fatal(err)
 	}
-	pols, err := state.ParsePolicies(o.policies)
-	if err != nil {
-		fatal(err)
+
+	k, count := 0, 1
+	if o.shard != "" {
+		if k, count, err = parseShard(o.shard); err != nil {
+			fatal(err)
+		}
 	}
-	var devices []string
-	if o.beamDevices != "" {
-		devices = strings.Split(o.beamDevices, ",")
+	if o.progressJSONL {
+		enc := json.NewEncoder(os.Stderr)
+		s.Progress = func(done, total int) {
+			enc.Encode(distrib.Event{
+				Event: distrib.EventName, Shard: k, Count: count, Done: done, Total: total,
+			})
+		}
+	} else {
+		s.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "phi-bench: sweep %d/%d cells\n", done, total)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	s := fleet.Sweep{
-		Benchmarks:      o.names,
-		Models:          models,
-		Policies:        pols,
-		N:               o.n,
-		Seed:            o.campSeed,
-		BenchSeed:       o.benchSeed,
-		Workers:         o.workers,
-		BeamRuns:        o.beamRuns,
-		BeamDevices:     devices,
-		BeamECCAblation: o.beamECC,
-		Progress: func(done, total int) {
-			fmt.Fprintf(os.Stderr, "phi-bench: sweep %d/%d cells\n", done, total)
-		},
-	}
-	if o.beamRuns > 0 {
-		// The paper's beam suite: every injection benchmark with a
-		// calibrated occupancy profile except NW (§3.2).
-		s.BeamBenchmarks = all.BeamSuite
-	}
 	start := time.Now()
 	var res *fleet.SweepResult
-	var err2 error
 	if o.shard != "" {
-		k, count, perr := parseShard(o.shard)
-		if perr != nil {
-			fatal(perr)
-		}
-		res, err2 = s.RunShard(ctx, k, count)
+		res, err = s.RunShard(ctx, k, count)
 	} else {
-		res, err2 = s.Run(ctx)
+		res, err = s.Run(ctx)
 	}
-	if err2 != nil {
-		fatal(err2)
+	if err != nil {
+		fatal(err)
 	}
 	label := ""
 	if res.Shard != nil {
@@ -186,6 +161,24 @@ func runSweep(o sweepOpts) {
 	fmt.Fprintf(os.Stderr, "phi-bench: %d injection + %d beam cells%s in %s\n",
 		len(res.Cells), len(res.BeamCells), label, time.Since(start).Round(time.Millisecond))
 
+	if o.out != "-" {
+		printSweepTables(res)
+	}
+	switch o.out {
+	case "":
+	case "-":
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := res.WriteFile(o.out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phi-bench: wrote sweep result to %s\n", o.out)
+	}
+}
+
+func printSweepTables(res *fleet.SweepResult) {
 	if len(res.Cells) > 0 {
 		t := report.NewTable("phirel fleet sweep (per-cell outcomes)",
 			"Benchmark", "Model", "Policy", "Masked %", "SDC %", "DUE %", "Fired %", "N")
@@ -221,13 +214,6 @@ func runSweep(o sweepOpts) {
 				fmt.Sprintf("%d", c.Result.Runs))
 		}
 		fmt.Println(t)
-	}
-
-	if o.out != "" {
-		if err := res.WriteFile(o.out); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "phi-bench: wrote sweep result to %s\n", o.out)
 	}
 }
 

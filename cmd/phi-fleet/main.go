@@ -1,0 +1,149 @@
+// Command phi-fleet is the distributed fan-out driver for fleet sweeps: it
+// splits a sweep K ways along the shard seam, launches K phi-bench shard
+// workers (local subprocesses by default, remote hosts with -ssh),
+// supervises them — per-attempt timeouts, bounded retry with backoff for
+// crashed workers, aggregated JSONL progress — and folds the validated
+// partials into one merged artifact, byte-identical to a monolithic
+// phi-bench -sweep with the same spec. It is the one-command form of the
+// shard/merge loop that closes the ROADMAP remote-execution item.
+//
+// Usage:
+//
+//	phi-fleet -shards 10 -n 10000 -beam-runs 10000 -beam-ecc-ablation -out sweep.json
+//	phi-fleet -shards 3 -spec spec.json -worker-cmd "bin/phi-bench" -out sweep.json
+//	phi-fleet -shards 8 -ssh node1,node2,node3 -ssh-bin /opt/phirel/phi-bench -out sweep.json
+//
+// The grid flags mirror phi-bench -sweep exactly, so swapping one command
+// for the other changes nothing about the resulting artifact. Workers are
+// resolved in this order: -ssh (remote), -worker-cmd (explicit local
+// command), a phi-bench binary next to the phi-fleet executable, phi-bench
+// from PATH.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"phirel/internal/cli"
+	"phirel/internal/distrib"
+)
+
+func main() {
+	var grid cli.SweepFlags
+	grid.Register(flag.CommandLine, "")
+	var (
+		shards  = flag.Int("shards", 3, "fan-out width K: how many shard workers to launch")
+		specArg = flag.String("spec", "", "read the sweep spec from this fleet spec JSON file ('-' = stdin) instead of the grid flags")
+		out     = flag.String("out", "sweep.json", "write the merged SweepResult JSON here ('-' = stdout)")
+		dir     = flag.String("dir", "", "working directory for the spec file and shard partials (default: a temp dir, removed unless -keep-partials)")
+		keep    = flag.Bool("keep-partials", false, "keep the shard partials and spec file after a successful merge")
+
+		workerCmd = flag.String("worker-cmd", "", "local worker command, space-separated (default: phi-bench next to this executable, else from PATH)")
+		sshHosts  = flag.String("ssh", "", "comma-separated ssh hosts; shards round-robin over them instead of running locally")
+		sshBin    = flag.String("ssh-bin", "phi-bench", "phi-bench executable on the remote hosts")
+
+		timeout = flag.Duration("timeout", 0, "per-attempt shard timeout (0 = none)")
+		retries = flag.Int("retries", 1, "relaunches per crashed/timed-out/corrupt-output shard beyond its first attempt")
+		backoff = flag.Duration("backoff", time.Second, "delay before a shard's first retry (doubles per retry)")
+		maxConc = flag.Int("max-concurrent", 0, "max shards in flight at once (0 = all)")
+		quiet   = flag.Bool("quiet", false, "suppress progress and supervisor lifecycle lines on stderr")
+	)
+	flag.Parse()
+
+	spec, err := grid.LoadSweep(*specArg, os.Stdin, cli.WorkersSet(flag.CommandLine))
+	if err != nil {
+		fatal(err)
+	}
+
+	workdir := *dir
+	ownDir := workdir == ""
+	if ownDir {
+		if workdir, err = os.MkdirTemp("", "phi-fleet-*"); err != nil {
+			fatal(err)
+		}
+	} else if err := os.MkdirAll(workdir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	opts := distrib.Options{
+		Shards:        *shards,
+		Launcher:      launcher(*sshHosts, *sshBin, *workerCmd),
+		Dir:           workdir,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		Backoff:       *backoff,
+		MaxConcurrent: *maxConc,
+	}
+	if !*quiet {
+		opts.Progress = func(p distrib.Progress) {
+			fmt.Fprintf(os.Stderr, "phi-fleet: %d/%d cells done across %d shards\n", p.Done, p.Total, *shards)
+		}
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "phi-fleet: "+format+"\n", args...)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	merged, err := distrib.Run(ctx, spec, opts)
+	if err != nil {
+		// Keep whatever landed: the partials and spec are the evidence a
+		// failed fan-out leaves behind. Always say where they are — with
+		// an auto-created temp dir and -quiet the path was never printed.
+		fmt.Fprintf(os.Stderr, "phi-fleet: spec and any shard partials kept in %s\n", workdir)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "phi-fleet: %d shards merged into %d injection + %d beam cells in %s\n",
+		*shards, len(merged.Cells), len(merged.BeamCells), time.Since(start).Round(time.Millisecond))
+
+	if *out == "-" {
+		err = merged.WriteJSON(os.Stdout)
+	} else if err = merged.WriteFile(*out); err == nil {
+		fmt.Fprintf(os.Stderr, "phi-fleet: wrote merged artifact to %s\n", *out)
+	}
+	if err != nil {
+		// The campaign is done and the partials are valid — if the merged
+		// artifact can't land (full disk, bad -out path), the partials are
+		// the only copy of hours of compute, so say where they are and
+		// leave them for a phi-merge rescue.
+		fmt.Fprintf(os.Stderr, "phi-fleet: spec and shard partials kept in %s (refold with phi-merge)\n", workdir)
+		fatal(err)
+	}
+
+	if *keep {
+		fmt.Fprintf(os.Stderr, "phi-fleet: shard partials kept in %s\n", workdir)
+	} else if ownDir {
+		os.RemoveAll(workdir)
+	}
+}
+
+// launcher picks the worker transport: ssh hosts when given, else a local
+// subprocess of the explicit -worker-cmd, else a phi-bench discovered next
+// to this executable or on PATH.
+func launcher(sshHosts, sshBin, workerCmd string) distrib.Launcher {
+	if sshHosts != "" {
+		return distrib.SSHLauncher{Hosts: strings.Split(sshHosts, ","), Bin: sshBin}
+	}
+	if workerCmd != "" {
+		return distrib.ExecLauncher{Command: strings.Fields(workerCmd)}
+	}
+	if exe, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(exe), "phi-bench")
+		if info, err := os.Stat(sibling); err == nil && !info.IsDir() {
+			return distrib.ExecLauncher{Command: []string{sibling}}
+		}
+	}
+	return distrib.ExecLauncher{Command: []string{"phi-bench"}}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phi-fleet:", err)
+	os.Exit(1)
+}

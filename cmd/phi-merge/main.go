@@ -6,9 +6,16 @@
 // same grid, seeds and trial counts; anything else (including passing an
 // already-merged artifact) is a hard error.
 //
+// Arguments may be literal paths or glob patterns (quote patterns if you
+// want phi-merge rather than your shell to expand them — both work): every
+// argument must match at least one file, and a partial reached twice, by
+// repetition or overlapping patterns, is rejected up front by path instead
+// of surfacing later as a duplicated shard index.
+//
 // Usage:
 //
 //	phi-merge -out sweep.json sweep-shard-1-of-3.json sweep-shard-2-of-3.json sweep-shard-3-of-3.json
+//	phi-merge -out sweep.json 'sweep-shard-*.json'
 package main
 
 import (
@@ -26,7 +33,11 @@ func main() {
 	if flag.NArg() == 0 {
 		fatal(fmt.Errorf("no shard files given; usage: phi-merge [-out sweep.json] sweep-shard-*.json"))
 	}
-	merged, err := fleet.MergeFiles(flag.Args()...)
+	paths, err := fleet.DiscoverPartials(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	merged, err := fleet.MergeFiles(paths...)
 	if err != nil {
 		fatal(err)
 	}
@@ -38,7 +49,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "phi-merge: folded %d shards into %d injection + %d beam cells\n",
-		flag.NArg(), len(merged.Cells), len(merged.BeamCells))
+		len(paths), len(merged.Cells), len(merged.BeamCells))
 }
 
 func fatal(err error) {

@@ -1,0 +1,94 @@
+// Package distrib fans a fleet.Sweep out across shard worker processes and
+// folds the resulting partial artifacts back into one merged result,
+// byte-identical to the monolithic Sweep.Run. It is the execution layer the
+// sharding algebra of internal/fleet was built for: the paper's campaigns
+// need tens of thousands of trials per cell, far more than one process (or
+// one CI job) should run, and a shard partial already carries everything a
+// merge needs to fold results computed anywhere.
+//
+// The moving parts:
+//
+//   - Plan writes the shared sweep spec file and lays out the K shard
+//     tasks (one canonical partial path per shard).
+//   - Launcher runs one shard worker to completion. ExecLauncher execs a
+//     local phi-bench subprocess; SSHLauncher drives a remote phi-bench
+//     over ssh with the spec streamed in over stdin and the partial
+//     streamed back over stdout (no shared filesystem needed);
+//     LauncherFunc adapts an in-process function for tests.
+//   - Run supervises the fan-out: a bounded launch pool, a per-attempt
+//     timeout, bounded retry with exponential backoff for crashed,
+//     timed-out or corrupt-output workers, a progress mux folding every
+//     worker's structured JSONL stderr events into fan-out-wide samples,
+//     and per-shard stderr tails surfaced when a shard fails permanently.
+//
+// The end state is fleet.MergeFiles over the K validated partials, so
+// everything the merge layer enforces (grid/seed/plan compatibility, exact
+// index coverage) backstops the supervisor.
+package distrib
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"phirel/internal/fleet"
+)
+
+// Task describes one shard-worker launch.
+type Task struct {
+	// Shard is the 0-based shard index; Count is the total shard count K.
+	Shard, Count int
+	// SpecPath is the sweep spec file shared by every worker of the
+	// fan-out (fleet.WriteSpecFile format, consumed by phi-bench -spec).
+	SpecPath string
+	// OutPath is where this shard's partial artifact must land locally.
+	OutPath string
+	// Attempt is the 0-based attempt number; the supervisor increments it
+	// on every relaunch.
+	Attempt int
+}
+
+// ShardArg renders the task's position in phi-bench's 1-based -shard form.
+func (t Task) ShardArg() string { return fmt.Sprintf("%d/%d", t.Shard+1, t.Count) }
+
+// SpecFileName is the name Plan gives the shared spec file inside the
+// fan-out working directory.
+const SpecFileName = "sweep-spec.json"
+
+// PartialPath is the canonical partial artifact path for shard k (0-based)
+// of count in dir — the same sweep-shard-k-of-K.json convention the
+// Makefile's shard target uses.
+func PartialPath(dir string, k, count int) string {
+	return filepath.Join(dir, fmt.Sprintf("sweep-shard-%d-of-%d.json", k+1, count))
+}
+
+// Plan writes the shared spec file into dir (which must exist) and lays
+// out the fan-out's shard tasks. dir is absolutized first: task paths end
+// up in worker argv, and a worker may run with a different working
+// directory (ExecLauncher.Dir), which must not change where the spec is
+// found or the partial lands.
+func Plan(dir string, spec fleet.Sweep, shards int) ([]Task, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("distrib: need at least 1 shard, got %d", shards)
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	if _, err := spec.Plan(0, shards); err != nil {
+		return nil, err
+	}
+	specPath := filepath.Join(dir, SpecFileName)
+	if err := spec.WriteSpecFile(specPath); err != nil {
+		return nil, err
+	}
+	tasks := make([]Task, shards)
+	for k := range tasks {
+		tasks[k] = Task{
+			Shard:    k,
+			Count:    shards,
+			SpecPath: specPath,
+			OutPath:  PartialPath(dir, k, shards),
+		}
+	}
+	return tasks, nil
+}

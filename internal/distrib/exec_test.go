@@ -1,0 +1,260 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"phirel/internal/fleet"
+)
+
+// TestMain doubles as the shard-worker executable: when re-exec'd with
+// PHIREL_FAKE_WORKER=1, the test binary speaks the phi-bench worker
+// protocol (spec in, -shard k/K, JSONL progress on stderr, partial out) —
+// so the exec and ssh launchers are exercised through real subprocesses,
+// pipes, exit codes and kills without building cmd/phi-bench first.
+func TestMain(m *testing.M) {
+	if os.Getenv("PHIREL_FAKE_WORKER") == "1" {
+		os.Exit(fakeWorker())
+	}
+	os.Exit(m.Run())
+}
+
+// fakeWorker implements the worker side of the launcher contract. Failure
+// modes are injected via environment:
+//
+//	PHIREL_FAKE_FAIL_ONCE_DIR — every shard crashes (exit 3) on its first
+//	  attempt, tracked by marker files in the directory, and runs clean on
+//	  the retry — the crash-retry path through real exit codes.
+//	PHIREL_FAKE_HANG=k — shard k blocks forever, so only a launcher-side
+//	  kill (per-attempt timeout) can end it.
+func fakeWorker() int {
+	args := os.Args[1:]
+	// An ssh transport invokes "<fake-ssh> [ssh opts] host bin <worker
+	// flags>": skip everything before the first flag, which covers both
+	// direct exec and the emulated remote command line.
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		args = args[1:]
+	}
+	var specArg, shardArg, outArg string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-sweep", "-progress-jsonl":
+		case "-spec":
+			i++
+			specArg = args[i]
+		case "-shard":
+			i++
+			shardArg = args[i]
+		case "-out":
+			i++
+			outArg = args[i]
+		default:
+			fmt.Fprintf(os.Stderr, "fake worker: unexpected arg %q\n", args[i])
+			return 2
+		}
+	}
+	var k, count int
+	if _, err := fmt.Sscanf(shardArg, "%d/%d", &k, &count); err != nil {
+		fmt.Fprintf(os.Stderr, "fake worker: bad -shard %q\n", shardArg)
+		return 2
+	}
+	k--
+
+	if dir := os.Getenv("PHIREL_FAKE_FAIL_ONCE_DIR"); dir != "" {
+		marker := filepath.Join(dir, fmt.Sprintf("crashed-%d", k))
+		if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
+			os.WriteFile(marker, nil, 0o644)
+			fmt.Fprintf(os.Stderr, "synthetic crash on shard %d\n", k)
+			return 3
+		}
+	}
+	if os.Getenv("PHIREL_FAKE_HANG") == fmt.Sprint(k) {
+		select {} // hold the shard hostage until the launcher kills us
+	}
+
+	var spec fleet.Sweep
+	var err error
+	if specArg == "-" {
+		spec, err = fleet.ReadSpec(os.Stdin)
+	} else {
+		spec, err = fleet.ReadSpecFile(specArg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fake worker:", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stderr)
+	spec.Progress = func(done, total int) {
+		enc.Encode(Event{Event: EventName, Shard: k, Count: count, Done: done, Total: total})
+	}
+	res, err := spec.RunShard(context.Background(), k, count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fake worker:", err)
+		return 1
+	}
+	if outArg == "-" {
+		err = res.WriteJSON(os.Stdout)
+	} else {
+		err = res.WriteFile(outArg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fake worker:", err)
+		return 1
+	}
+	return 0
+}
+
+func workerEnv(extra ...string) []string {
+	return append(append(os.Environ(), "PHIREL_FAKE_WORKER=1"), extra...)
+}
+
+// skipInShort gates the subprocess tests out of the -short race job: a
+// worker in its own process is invisible to the parent's race detector, so
+// re-running race-instrumented sweeps in children costs minutes and adds
+// nothing the in-process LauncherFunc tests don't already cover.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("subprocess launches add no race coverage; in-process supervisor tests cover these paths")
+	}
+}
+
+// TestExecLauncherSweepFanOut drives the full subprocess path: spec file,
+// real exec, stderr pipes demuxed into progress events, partials
+// validated and merged bit-identically.
+func TestExecLauncherSweepFanOut(t *testing.T) {
+	skipInShort(t)
+	spec := testSweep()
+	_, monoJSON := monoArtifact(t, spec)
+	var last Progress
+	merged, err := Run(context.Background(), spec, Options{
+		Shards:   3,
+		Launcher: ExecLauncher{Command: []string{os.Args[0]}, Env: workerEnv()},
+		Dir:      t.TempDir(),
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+		t.Fatal("exec fan-out merge not byte-identical to monolithic run")
+	}
+	if last.Done != last.Total || last.Total == 0 {
+		t.Fatalf("final aggregated progress %+v, want complete", last)
+	}
+}
+
+// TestExecLauncherSweepCrashRetry: every worker process exits 3 on its
+// first attempt; the supervisor relaunches each one and the merge still
+// holds. With the retry budget removed, the same crashes become a
+// permanent failure whose message carries the workers' real stderr.
+func TestExecLauncherSweepCrashRetry(t *testing.T) {
+	skipInShort(t)
+	spec := testSweep()
+	_, monoJSON := monoArtifact(t, spec)
+	markers := t.TempDir()
+	launcher := ExecLauncher{
+		Command: []string{os.Args[0]},
+		Env:     workerEnv("PHIREL_FAKE_FAIL_ONCE_DIR=" + markers),
+	}
+	merged, err := Run(context.Background(), spec, Options{
+		Shards: 2, Launcher: launcher, Dir: t.TempDir(),
+		Retries: 1, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+		t.Fatal("merge after real-process crash retries not byte-identical")
+	}
+
+	_, err = Run(context.Background(), spec, Options{
+		Shards: 2,
+		Launcher: ExecLauncher{
+			Command: []string{os.Args[0]},
+			Env:     workerEnv("PHIREL_FAKE_FAIL_ONCE_DIR=" + t.TempDir()),
+		},
+		Dir: t.TempDir(), Retries: 0,
+	})
+	if err == nil {
+		t.Fatal("crashing workers with no retry budget succeeded")
+	}
+	if !strings.Contains(err.Error(), "exit status 3") || !strings.Contains(err.Error(), "synthetic crash") {
+		t.Fatalf("permanent failure lost the exit code or stderr tail: %v", err)
+	}
+}
+
+// TestExecLauncherSweepTimeoutKill: a hung worker process is killed by the
+// per-attempt timeout; with no retries that is a permanent, clearly
+// labelled timeout failure.
+func TestExecLauncherSweepTimeoutKill(t *testing.T) {
+	skipInShort(t)
+	spec := testSweep()
+	launcher := ExecLauncher{
+		Command: []string{os.Args[0]},
+		Env:     workerEnv("PHIREL_FAKE_HANG=0"),
+	}
+	start := time.Now()
+	_, err := Run(context.Background(), spec, Options{
+		Shards: 2, Launcher: launcher, Dir: t.TempDir(),
+		Timeout: 300 * time.Millisecond, Retries: 0,
+	})
+	if err == nil {
+		t.Fatal("fan-out with a hung worker succeeded")
+	}
+	if !strings.Contains(err.Error(), "timed out after") {
+		t.Fatalf("hung worker not reported as a timeout: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("kill took %s; the hung process was not reaped", elapsed)
+	}
+}
+
+// TestSSHLauncherHostRotation: retries must not be pinned to a possibly
+// dead host — the attempt number rotates the round-robin so the retry
+// budget can route around a host-level failure.
+func TestSSHLauncherHostRotation(t *testing.T) {
+	l := SSHLauncher{Hosts: []string{"a", "b", "c"}}
+	if got := l.host(Task{Shard: 1, Attempt: 0}); got != "b" {
+		t.Fatalf("shard 1 attempt 0 on %q, want b", got)
+	}
+	if got := l.host(Task{Shard: 1, Attempt: 1}); got != "c" {
+		t.Fatalf("shard 1 attempt 1 on %q, want c (rotated off the failing host)", got)
+	}
+	if got := l.host(Task{Shard: 4, Attempt: 2}); got != "a" {
+		t.Fatalf("shard 4 attempt 2 on %q, want a", got)
+	}
+}
+
+// TestSSHLauncherSweepStreams exercises the remote transport with the test
+// binary standing in for ssh: the spec reaches the "remote" worker over
+// stdin, the partial streams back over stdout into the local partial path,
+// and the merge is bit-identical — no shared filesystem anywhere.
+func TestSSHLauncherSweepStreams(t *testing.T) {
+	skipInShort(t)
+	t.Setenv("PHIREL_FAKE_WORKER", "1")
+	spec := testSweep()
+	_, monoJSON := monoArtifact(t, spec)
+	launcher := SSHLauncher{
+		Hosts: []string{"nodeA", "nodeB"},
+		Bin:   "phi-bench",
+		SSH:   []string{os.Args[0]},
+	}
+	merged, err := Run(context.Background(), spec, Options{
+		Shards: 3, Launcher: launcher, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+		t.Fatal("ssh-streamed merge not byte-identical to monolithic run")
+	}
+}

@@ -1,0 +1,161 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// Launcher runs one shard worker to completion. Launch must block until
+// the worker exits, leave the shard's partial artifact at task.OutPath,
+// and stream the worker's stderr — structured JSONL progress events plus
+// free-form diagnostics — to stderr. A non-nil error marks the attempt
+// failed; the supervisor decides whether to retry. Launchers must honour
+// ctx cancellation by killing the worker.
+type Launcher interface {
+	Launch(ctx context.Context, task Task, stderr io.Writer) error
+}
+
+// LauncherFunc adapts a function to the Launcher interface — the seam for
+// in-process workers and synthetic failures in tests.
+type LauncherFunc func(ctx context.Context, task Task, stderr io.Writer) error
+
+// Launch calls f.
+func (f LauncherFunc) Launch(ctx context.Context, task Task, stderr io.Writer) error {
+	return f(ctx, task, stderr)
+}
+
+// WorkerArgs returns the phi-bench argument list that runs task. With
+// streamIO the spec is read from stdin and the partial written to stdout
+// ("-" on both flags) — the transport SSHLauncher uses so no file ever
+// needs to cross machines out of band.
+func WorkerArgs(task Task, streamIO bool) []string {
+	spec, out := task.SpecPath, task.OutPath
+	if streamIO {
+		spec, out = "-", "-"
+	}
+	return []string{
+		"-sweep",
+		"-spec", spec,
+		"-shard", task.ShardArg(),
+		"-progress-jsonl",
+		"-out", out,
+	}
+}
+
+// waitDelay bounds how long a launcher waits for a killed worker's pipes
+// to drain before abandoning them, so a wedged grandchild holding stderr
+// open cannot wedge the supervisor.
+const waitDelay = 5 * time.Second
+
+// ExecLauncher launches shard workers as local subprocesses. Command is
+// the worker argv prefix — e.g. {"bin/phi-bench"} or {"go", "run",
+// "./cmd/phi-bench"} — and the standard worker flags are appended.
+type ExecLauncher struct {
+	Command []string
+	// Dir, if set, is the subprocess working directory.
+	Dir string
+	// Env, if non-nil, replaces the inherited environment.
+	Env []string
+}
+
+// Launch runs the worker subprocess for task, killing it if ctx ends.
+func (l ExecLauncher) Launch(ctx context.Context, task Task, stderr io.Writer) error {
+	if len(l.Command) == 0 {
+		return fmt.Errorf("distrib: ExecLauncher has no command")
+	}
+	args := append(append([]string(nil), l.Command[1:]...), WorkerArgs(task, false)...)
+	cmd := exec.CommandContext(ctx, l.Command[0], args...)
+	cmd.Dir = l.Dir
+	cmd.Env = l.Env
+	// The worker writes its artifact to task.OutPath itself; its stdout
+	// (per-cell tables) is operator noise here.
+	cmd.Stdout = io.Discard
+	cmd.Stderr = stderr
+	cmd.WaitDelay = waitDelay
+	if err := cmd.Run(); err != nil {
+		// A worker killed on ctx expiry surfaces as "signal: killed";
+		// report the ctx error instead so timeouts read as timeouts.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("distrib: worker %s (shard %s): %w", l.Command[0], task.ShardArg(), err)
+	}
+	return nil
+}
+
+// SSHLauncher launches shard workers on remote hosts over ssh with no
+// shared filesystem: the spec streams to the remote worker's stdin, the
+// partial artifact streams back on stdout and is written to task.OutPath
+// locally, and stderr carries progress and diagnostics like any other
+// launcher. Shards round-robin over Hosts, rotated by attempt number, so
+// a retry lands on a different host and the retry budget routes around a
+// dead machine instead of burning out against it.
+type SSHLauncher struct {
+	// Hosts are ssh destinations (host or user@host).
+	Hosts []string
+	// Bin is the phi-bench executable on the remote host (default
+	// "phi-bench", resolved by the remote shell's PATH).
+	Bin string
+	// SSH is the ssh argv prefix (default {"ssh", "-o", "BatchMode=yes"}).
+	SSH []string
+}
+
+// host picks task's destination: round-robin by shard, rotated by attempt.
+func (l SSHLauncher) host(task Task) string {
+	return l.Hosts[(task.Shard+task.Attempt)%len(l.Hosts)]
+}
+
+// Launch runs task's worker on its round-robin host.
+func (l SSHLauncher) Launch(ctx context.Context, task Task, stderr io.Writer) error {
+	if len(l.Hosts) == 0 {
+		return fmt.Errorf("distrib: SSHLauncher has no hosts")
+	}
+	host := l.host(task)
+	bin := l.Bin
+	if bin == "" {
+		bin = "phi-bench"
+	}
+	ssh := l.SSH
+	if len(ssh) == 0 {
+		ssh = []string{"ssh", "-o", "BatchMode=yes"}
+	}
+	spec, err := os.Open(task.SpecPath)
+	if err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
+	defer spec.Close()
+	// Stream the artifact into a sibling temp file and rename on success,
+	// so a connection dropped mid-transfer never leaves a plausible-looking
+	// partial behind for the validator to half-trust.
+	tmp := task.OutPath + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
+	args := append(append([]string(nil), ssh[1:]...), host, bin)
+	args = append(args, WorkerArgs(task, true)...)
+	cmd := exec.CommandContext(ctx, ssh[0], args...)
+	cmd.Stdin = spec
+	cmd.Stdout = out
+	cmd.Stderr = stderr
+	cmd.WaitDelay = waitDelay
+	runErr := cmd.Run()
+	if closeErr := out.Close(); runErr == nil {
+		runErr = closeErr
+	}
+	if runErr != nil {
+		os.Remove(tmp)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("distrib: ssh worker on %s (shard %s): %w", host, task.ShardArg(), runErr)
+	}
+	if err := os.Rename(tmp, task.OutPath); err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+)
+
+// Event is the structured progress record a worker emits on stderr — one
+// JSON object per line — when driven with -progress-jsonl. cmd/phi-bench
+// produces it; the supervisor's progress mux consumes it. Any stderr line
+// that is not an Event is treated as worker diagnostics and kept in the
+// shard's failure tail instead.
+type Event struct {
+	// Event discriminates progress records from other JSON a worker might
+	// print; it is always EventName.
+	Event string `json:"event"`
+	// Shard and Count are the worker's 0-based shard index and total shard
+	// count (0 and 1 for a monolithic run).
+	Shard int `json:"shard"`
+	Count int `json:"count"`
+	// Done and Total count grid cells completed by this worker alone.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// EventName is Event's discriminator value.
+const EventName = "sweep-progress"
+
+// parseEvent reports whether line is a progress event.
+func parseEvent(line []byte) (Event, bool) {
+	if !bytes.HasPrefix(bytes.TrimSpace(line), []byte("{")) {
+		return Event{}, false
+	}
+	var ev Event
+	if err := json.Unmarshal(line, &ev); err != nil || ev.Event != EventName {
+		return Event{}, false
+	}
+	return ev, true
+}
+
+// Progress is one aggregated sample across the whole fan-out.
+type Progress struct {
+	// Shard is the 0-based shard whose report produced this sample.
+	Shard int
+	// Done and Total count grid cells across every shard: each of the K
+	// shards runs its slice of all Total/K cells, so Total is K times the
+	// sweep's cell count.
+	Done, Total int
+}
+
+// progressMux folds per-shard progress events into fan-out-wide samples.
+// One mux serves the whole fan-out; the per-attempt stderr demux feeds it.
+// Samples are emitted with the lock held, so sink calls are serialised —
+// the same contract fleet.Sweep.Progress gives.
+type progressMux struct {
+	mu       sync.Mutex
+	done     []int
+	perShard int
+	sink     func(Progress)
+}
+
+func newProgressMux(shards, cellsPerShard int, sink func(Progress)) *progressMux {
+	return &progressMux{done: make([]int, shards), perShard: cellsPerShard, sink: sink}
+}
+
+// report records shard's latest done count and emits an aggregate sample.
+func (m *progressMux) report(shard, done int) {
+	if m.sink == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done[shard] = done
+	sum := 0
+	for _, d := range m.done {
+		sum += d
+	}
+	m.sink(Progress{Shard: shard, Done: sum, Total: m.perShard * len(m.done)})
+}
+
+// reset zeroes a shard's tally when its worker is relaunched, so aggregate
+// samples never double-count a retried shard's first attempt.
+func (m *progressMux) reset(shard int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done[shard] = 0
+}
+
+// lineWriter buffers writes and hands complete lines to fn — the io.Writer
+// a launcher streams worker stderr into. It never returns an error: worker
+// output must not be able to fail the supervisor's copy loop.
+type lineWriter struct {
+	fn  func([]byte)
+	buf []byte
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		w.fn(w.buf[:i])
+		w.buf = append(w.buf[:0], w.buf[i+1:]...)
+	}
+}
+
+// Flush delivers a trailing unterminated line — what a worker that died
+// mid-write leaves behind.
+func (w *lineWriter) Flush() {
+	if len(w.buf) > 0 {
+		w.fn(w.buf)
+		w.buf = nil
+	}
+}
+
+// tailBuffer keeps the last max bytes of a shard's diagnostic stderr —
+// what a permanent failure reports — without ever growing unbounded over
+// retries or chatty workers.
+type tailBuffer struct {
+	mu        sync.Mutex
+	max       int
+	buf       []byte
+	truncated bool
+}
+
+func (t *tailBuffer) writeLine(line []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, line...)
+	t.buf = append(t.buf, '\n')
+	if over := len(t.buf) - t.max; over > 0 {
+		t.buf = append(t.buf[:0], t.buf[over:]...)
+		t.truncated = true
+	}
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := strings.TrimRight(string(t.buf), "\n")
+	if t.truncated {
+		s = "… " + s
+	}
+	return s
+}

@@ -1,0 +1,43 @@
+package distrib
+
+import (
+	"context"
+	"time"
+)
+
+const (
+	// defaultBackoff is the delay before a shard's first retry when
+	// Options.Backoff is unset.
+	defaultBackoff = 500 * time.Millisecond
+	// maxBackoff caps the exponential growth: a deep retry budget should
+	// keep probing, not sleep the night away.
+	maxBackoff = time.Minute
+)
+
+// backoffDelay returns the sleep before retry number retry (1-based):
+// base doubled per prior retry, capped at maxBackoff.
+func backoffDelay(base time.Duration, retry int) time.Duration {
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	d := base
+	for i := 1; i < retry && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,217 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"phirel/internal/fleet"
+)
+
+// Options tunes a fan-out Run.
+type Options struct {
+	// Shards is the fan-out width K (required, >= 1).
+	Shards int
+	// Launcher starts shard workers (required): ExecLauncher for local
+	// subprocesses, SSHLauncher for remote hosts, LauncherFunc for
+	// in-process workers.
+	Launcher Launcher
+	// Dir is the working directory for the shared spec file and the shard
+	// partials (required; the caller owns creation and cleanup).
+	Dir string
+	// Timeout bounds every attempt of every shard; 0 means no limit.
+	Timeout time.Duration
+	// Retries is how many times a crashed, timed-out or corrupt-output
+	// shard is relaunched beyond its first attempt.
+	Retries int
+	// Backoff is the delay before a shard's first retry, doubling per
+	// retry (default 500ms, capped at 1m).
+	Backoff time.Duration
+	// MaxConcurrent caps shards in flight at once (0 = all at once).
+	MaxConcurrent int
+	// Progress, when non-nil, receives aggregated fan-out-wide samples as
+	// workers report. Calls are serialised.
+	Progress func(Progress)
+	// Logf, when non-nil, receives supervisor lifecycle lines: launches,
+	// retries, validated partials, failures.
+	Logf func(format string, args ...any)
+}
+
+// tailBytes bounds the per-shard stderr tail kept for failure reports.
+const tailBytes = 4 << 10
+
+// shardError is one shard's permanent failure, carrying the diagnostic
+// stderr tail accumulated across its attempts.
+type shardError struct {
+	task Task
+	err  error
+	tail string
+}
+
+func (e *shardError) Error() string {
+	s := fmt.Sprintf("shard %s failed after %d attempt(s): %v", e.task.ShardArg(), e.task.Attempt+1, e.err)
+	if e.tail != "" {
+		s += "\n  stderr tail:\n    " + strings.ReplaceAll(e.tail, "\n", "\n    ")
+	}
+	return s
+}
+
+// Run fans the sweep out opts.Shards ways, supervises the workers, and
+// folds their validated partials into one merged SweepResult —
+// byte-identical to the monolithic spec.Run with the same spec. Every
+// shard runs to its own conclusion (success, or permanent failure after
+// the retry budget); when any shard fails permanently the returned error
+// lists every failed shard with its stderr tail, so one flaky host never
+// hides another's diagnosis. Cancelling ctx stops all workers.
+func Run(ctx context.Context, spec fleet.Sweep, opts Options) (*fleet.SweepResult, error) {
+	switch {
+	case opts.Shards < 1:
+		return nil, fmt.Errorf("distrib: need at least 1 shard, got %d", opts.Shards)
+	case opts.Launcher == nil:
+		return nil, errors.New("distrib: no Launcher configured")
+	case opts.Dir == "":
+		return nil, errors.New("distrib: no working directory configured")
+	}
+	tasks, err := Plan(opts.Dir, spec, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cellsPerShard := len(spec.Cells()) + len(spec.BeamCells())
+	mux := newProgressMux(opts.Shards, cellsPerShard, opts.Progress)
+
+	slots := opts.MaxConcurrent
+	if slots <= 0 || slots > opts.Shards {
+		slots = opts.Shards
+	}
+	sem := make(chan struct{}, slots)
+	var wg sync.WaitGroup
+	failures := make([]*shardError, opts.Shards)
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t Task) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			failures[t.Shard] = superviseShard(ctx, t, opts, mux)
+		}(t)
+	}
+	wg.Wait()
+
+	var msgs []string
+	for _, f := range failures {
+		if f != nil {
+			msgs = append(msgs, f.Error())
+		}
+	}
+	if len(msgs) > 0 {
+		return nil, fmt.Errorf("distrib: %d of %d shards failed permanently:\n%s",
+			len(msgs), opts.Shards, strings.Join(msgs, "\n"))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(tasks))
+	for i, t := range tasks {
+		paths[i] = t.OutPath
+	}
+	merged, err := fleet.MergeFiles(paths...)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: folding shard partials: %w", err)
+	}
+	return merged, nil
+}
+
+// superviseShard drives one shard through its attempt budget. nil means
+// its partial landed and validated; non-nil is a permanent failure. A
+// shard aborted because the whole fan-out was cancelled is not a failure.
+func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux) *shardError {
+	tail := &tailBuffer{max: tailBytes}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for attempt := 0; ; attempt++ {
+		t.Attempt = attempt
+		if attempt > 0 {
+			mux.reset(t.Shard)
+			delay := backoffDelay(opts.Backoff, attempt)
+			logf("shard %s: retry %d/%d in %s", t.ShardArg(), attempt, opts.Retries, delay)
+			if sleepCtx(ctx, delay) != nil {
+				return nil // fan-out cancelled while backing off
+			}
+		} else {
+			logf("shard %s: launching", t.ShardArg())
+		}
+		err := launchOnce(ctx, t, opts, mux, tail)
+		if err == nil {
+			logf("shard %s: partial validated (%s)", t.ShardArg(), t.OutPath)
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The fan-out is shutting down; the abort is not this shard's
+			// fault and retrying against a dead context is pointless.
+			return nil
+		}
+		logf("shard %s: attempt %d failed: %v", t.ShardArg(), attempt+1, err)
+		if attempt >= opts.Retries {
+			return &shardError{task: t, err: err, tail: tail.String()}
+		}
+	}
+}
+
+// launchOnce runs one attempt: stale-partial removal, launch under the
+// per-attempt timeout, stderr demux (progress events to the mux, the rest
+// to the failure tail), and artifact validation.
+func launchOnce(ctx context.Context, t Task, opts Options, mux *progressMux, tail *tailBuffer) error {
+	// A partial left by a killed or crashed prior attempt must never pass
+	// for this attempt's output.
+	if err := os.Remove(t.OutPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("removing stale partial: %w", err)
+	}
+	actx := ctx
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	lw := &lineWriter{fn: func(line []byte) {
+		if ev, ok := parseEvent(line); ok {
+			mux.report(t.Shard, ev.Done)
+			return
+		}
+		tail.writeLine(line)
+	}}
+	err := opts.Launcher.Launch(actx, t, lw)
+	lw.Flush()
+	if err != nil {
+		if actx.Err() != nil && ctx.Err() == nil {
+			return fmt.Errorf("attempt timed out after %s", opts.Timeout)
+		}
+		return err
+	}
+	return validatePartial(t)
+}
+
+// validatePartial confirms the attempt left a parseable partial tagged as
+// this task's shard — a worker that exits 0 with a truncated, mislabelled
+// or missing artifact has failed exactly as hard as a crash, it just
+// doesn't know it.
+func validatePartial(t Task) error {
+	r, err := fleet.ReadShardFile(t.OutPath)
+	if err != nil {
+		return fmt.Errorf("worker exited cleanly but its partial is unusable: %w", err)
+	}
+	if r.Shard.Index != t.Shard || r.Shard.Count != t.Count {
+		return fmt.Errorf("worker wrote a partial for shard %d/%d, want %s",
+			r.Shard.Index+1, r.Shard.Count, t.ShardArg())
+	}
+	return nil
+}

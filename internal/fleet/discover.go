@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// DiscoverPartials expands paths and glob patterns into the list of shard
+// partial artifacts to merge. Every argument must match at least one file
+// (a pattern that matches nothing is almost always a typo or a missing
+// shard, and merging a short list would only fail later with a coverage
+// error), and a file reached twice — a repeated argument or overlapping
+// patterns — is rejected here by path, before the merge layer can only
+// describe it as a duplicated shard index.
+func DiscoverPartials(patterns ...string) ([]string, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("fleet: no partial paths or patterns given")
+	}
+	var out []string
+	seen := map[string]string{}
+	for _, pat := range patterns {
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bad pattern %q: %w", pat, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("fleet: no partial artifacts match %q", pat)
+		}
+		for _, m := range matches {
+			key := filepath.Clean(m)
+			if prev, dup := seen[key]; dup {
+				return nil, fmt.Errorf("fleet: partial %s given twice (by %q and %q)", m, prev, pat)
+			}
+			seen[key] = pat
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

@@ -64,6 +64,21 @@ func ReadFile(path string) (*SweepResult, error) {
 	return r, nil
 }
 
+// ReadShardFile reads a shard-partial sweep artifact from path — the
+// inverse of ReadFile: a complete (monolithic or merged) artifact is
+// rejected, since feeding one to a merge or a supervisor's validation step
+// means some producer mislabelled its output.
+func ReadShardFile(path string) (*SweepResult, error) {
+	r, err := readSweepFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if r.Shard == nil {
+		return nil, fmt.Errorf("fleet: %s is a complete sweep artifact, not a shard partial", path)
+	}
+	return r, nil
+}
+
 // readSweepFile reads a sweep result — complete or shard-partial — from
 // path, decorating errors with the path.
 func readSweepFile(path string) (*SweepResult, error) {

@@ -88,6 +88,11 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("fleet: no sweep partials to merge")
 	}
+	// Keyed on (index, count): a repeated partial is a duplicate, but two
+	// partials sharing an index across different split widths are
+	// incompatible sweeps, which the shard-count check below diagnoses
+	// accurately.
+	seen := map[[2]int]bool{}
 	for i, p := range parts {
 		if p == nil {
 			return nil, fmt.Errorf("fleet: sweep partial %d is nil", i)
@@ -95,6 +100,11 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 		if p.Shard == nil {
 			return nil, fmt.Errorf("fleet: sweep %d is not a shard partial (already merged or monolithic)", i)
 		}
+		key := [2]int{p.Shard.Index, p.Shard.Count}
+		if seen[key] {
+			return nil, fmt.Errorf("fleet: shard %s appears more than once in the merge set — was a partial repeated?", p.Shard)
+		}
+		seen[key] = true
 	}
 	ps := append([]*SweepResult(nil), parts...)
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Shard.Index < ps[j].Shard.Index })
@@ -114,7 +124,7 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 			return nil, fmt.Errorf("fleet: shard %s split %d ways, others %d", p.Shard, p.Shard.Count, count)
 		}
 		if p.Shard.Index != i {
-			return nil, fmt.Errorf("fleet: shard %d/%d is duplicated or missing", i+1, count)
+			return nil, fmt.Errorf("fleet: shard %d/%d is missing from the merge set", i+1, count)
 		}
 		sp := p.Spec
 		sp.Progress = nil

@@ -164,8 +164,13 @@ func TestMergeSweepResultsValidation(t *testing.T) {
 	if _, err := MergeSweepResults(a); err == nil {
 		t.Fatal("accepted missing shard")
 	}
-	if _, err := MergeSweepResults(a, a); err == nil {
-		t.Fatal("accepted duplicated shard")
+	if _, err := MergeSweepResults(a, a); err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("duplicated shard: %v, want a clear duplicate-index error", err)
+	}
+	// A duplicate hiding in a full-length part list (the repeated-path
+	// phi-merge case) must also name the duplication, not the coverage.
+	if _, err := MergeSweepResults(a, b, b); err == nil || !strings.Contains(err.Error(), "more than once") {
+		t.Fatalf("duplicated shard among %d parts: %v, want a clear duplicate-index error", 3, err)
 	}
 	mono, err := s.Run(context.Background())
 	if err != nil {
@@ -252,6 +257,11 @@ func TestMergeFilesAndReadFileHardening(t *testing.T) {
 	if _, err := ReadFile(paths[0]); err == nil || !strings.Contains(err.Error(), "phi-merge") {
 		t.Fatalf("ReadFile on a shard partial: %v, want an unmerged-shard error", err)
 	}
+	// ReadShardFile is the exact inverse: partials read back, complete
+	// artifacts are rejected.
+	if p, err := ReadShardFile(paths[0]); err != nil || p.Shard == nil || p.Shard.Index != 0 {
+		t.Fatalf("ReadShardFile on a partial: %+v, %v", p, err)
+	}
 	full, err := os.ReadFile(paths[0])
 	if err != nil {
 		t.Fatal(err)
@@ -284,5 +294,8 @@ func TestMergeFilesAndReadFileHardening(t *testing.T) {
 	}
 	if !reflect.DeepEqual(mono, back) {
 		t.Fatal("complete artifact changed across ReadFile")
+	}
+	if _, err := ReadShardFile(monoPath); err == nil || !strings.Contains(err.Error(), "not a shard partial") {
+		t.Fatalf("ReadShardFile on a complete artifact: %v, want a rejection", err)
 	}
 }

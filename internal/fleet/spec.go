@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteSpec serialises the sweep spec as indented JSON — the file format
+// phi-bench -spec consumes, so a shard worker can be driven from one
+// self-describing file instead of a flag soup (the seam cmd/phi-fleet fans
+// out over). Progress is an execution hook, not part of the spec, and is
+// never serialised.
+func (s Sweep) WriteSpec(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("fleet: encode sweep spec: %w", err)
+	}
+	return nil
+}
+
+// WriteSpecFile writes the sweep spec to path.
+func (s Sweep) WriteSpecFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := s.WriteSpec(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSpec deserialises a sweep spec written by WriteSpec. Unknown fields
+// are rejected, so handing a worker something that is not a spec — say a
+// SweepResult artifact — fails loudly instead of silently running a sweep
+// with default parameters.
+func ReadSpec(r io.Reader) (Sweep, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Sweep
+	if err := dec.Decode(&s); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Sweep{}, fmt.Errorf("fleet: sweep spec is truncated or empty: %w", err)
+		}
+		return Sweep{}, fmt.Errorf("fleet: not a sweep spec: %w", err)
+	}
+	return s, nil
+}
+
+// ReadSpecFile reads a sweep spec from path.
+func ReadSpecFile(path string) (Sweep, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("fleet: %w", err)
+	}
+	defer f.Close()
+	s, err := ReadSpec(f)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("%w (%s)", err, path)
+	}
+	return s, nil
+}
