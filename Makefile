@@ -4,10 +4,14 @@
 GO ?= go
 
 .PHONY: build test race vet fmt sweep bench-smoke shard shard-merge shard-demo \
-	worker-bin fleet-check fleet-demo nightly-sweep ci
+	worker-bin fleet-check fleet-demo nightly-sweep cover fuzz ci
 
-# The exact PR-gating sequence CI runs, as one local command.
-ci: fmt vet build test race bench-smoke fleet-demo
+# The exact PR-gating sequence CI runs, as one local command. cover re-runs
+# internal/distrib + internal/fleet with coverage instrumentation (a
+# different build than test's, so the test cache cannot share them); CI
+# pays nothing — the jobs run in parallel — and locally it adds ~1 minute
+# to a multi-minute sequence.
+ci: fmt vet build test race bench-smoke cover fleet-demo
 
 build:
 	$(GO) build ./...
@@ -72,6 +76,39 @@ shard-demo:
 	$(MAKE) shard SHARD=2/3
 	$(MAKE) shard SHARD=3/3
 	$(MAKE) shard-merge
+
+# Coverage floors (percent of statements) for the two packages that gate
+# the correctness of merged artifacts: internal/distrib (supervision,
+# launchers, partial validation) and internal/fleet (sharding algebra,
+# merge validation, artifact readers). The floors sit below current
+# coverage (~77% / ~89%; the kubectl exec paths need a live cluster) so
+# they catch erosion, not noise. CI's cover job runs this and uploads the
+# HTML reports as artifacts.
+DISTRIB_COVER_FLOOR ?= 72
+FLEET_COVER_FLOOR ?= 85
+
+cover:
+	$(GO) test -coverprofile=cover-distrib.out ./internal/distrib/
+	$(GO) test -coverprofile=cover-fleet.out ./internal/fleet/
+	$(GO) tool cover -html=cover-distrib.out -o cover-distrib.html
+	$(GO) tool cover -html=cover-fleet.out -o cover-fleet.html
+	@for pf in cover-distrib.out:$(DISTRIB_COVER_FLOOR) cover-fleet.out:$(FLEET_COVER_FLOOR); do \
+		profile=$${pf%%:*}; floor=$${pf##*:}; \
+		total=$$($(GO) tool cover -func=$$profile | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		if awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 < f+0) }'; then \
+			echo "$$profile: coverage $$total% fell below the $$floor% floor"; exit 1; \
+		fi; \
+		echo "$$profile: coverage $$total% (floor $$floor%)"; \
+	done
+
+# Mutational fuzzing of the fleet artifact readers beyond their committed
+# seed corpora (testdata/fuzz, replayed by plain `make test`). One target
+# per run: `go test -fuzz` refuses multi-target patterns.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzReadSpec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzReadJSON$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzReadShardFile$$' -fuzztime $(FUZZTIME)
 
 # Shard workers are exec'd as subprocesses, so the fleet targets build a
 # real phi-bench binary first instead of racing N concurrent `go run`

@@ -14,7 +14,7 @@
 //	          [-policies by-frame] [-campaign-seed 1701] [-workers 8]
 //	          [-beam-runs 6000] [-beam-devices KNC3120A] [-beam-ecc-ablation]
 //	          [-shard k/K] [-out sweep.json]
-//	phi-bench -spec spec.json [-shard k/K] [-progress-jsonl] [-out -]
+//	phi-bench -spec spec.json [-shard k/K] [-progress-jsonl] [-out -] [-frame-out]
 //
 // With -shard k/K (1-based) the sweep runs only the k-th of K deterministic
 // slices of every cell's trials; the K partials fold back into the
@@ -25,10 +25,14 @@
 // cmd/phi-fleet drives. -progress-jsonl switches stderr progress to
 // machine-readable JSONL events (one internal/distrib.Event per line), and
 // -out - streams the artifact to stdout (suppressing the per-cell tables),
-// so a remote worker needs no filesystem handshake at all.
+// so a remote worker needs no filesystem handshake at all. -frame-out wraps
+// the stdout artifact in distrib's base64 sentinel frame, which survives
+// transports that merge stdout and stderr into one line stream — the
+// Kubernetes pod log the phi-fleet -k8s launcher reads partials back from.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -56,6 +60,7 @@ func main() {
 		out       = flag.String("out", "", "sweep: write SweepResult JSON here ('-' = stdout, suppressing tables)")
 		specArg   = flag.String("spec", "", "sweep: read the whole sweep spec from this fleet spec JSON file ('-' = stdin) instead of the grid flags; implies -sweep")
 		progJSONL = flag.Bool("progress-jsonl", false, "sweep: emit machine-readable JSONL progress events on stderr (the phi-fleet protocol)")
+		frameOut  = flag.Bool("frame-out", false, "sweep: with -out -, wrap the artifact in the base64 sentinel frame that survives stream-merging transports (Kubernetes pod logs)")
 	)
 	flag.Parse()
 
@@ -63,6 +68,7 @@ func main() {
 		runSweep(sweepOpts{
 			grid: &grid, out: *out,
 			shard: *shardArg, spec: *specArg, progressJSONL: *progJSONL,
+			frameOut: *frameOut,
 		})
 		return
 	}
@@ -102,6 +108,7 @@ type sweepOpts struct {
 	shard         string
 	spec          string
 	progressJSONL bool
+	frameOut      bool
 }
 
 // parseShard parses the 1-based "k/K" shard syntax into a 0-based index
@@ -167,6 +174,19 @@ func runSweep(o sweepOpts) {
 	switch o.out {
 	case "":
 	case "-":
+		if o.frameOut {
+			// A pod log merges stdout and stderr, so a bare artifact could
+			// interleave with diagnostics; the sentinel frame keeps it
+			// reconstructible from the merged stream (distrib.WriteFramed).
+			var buf bytes.Buffer
+			if err := res.WriteJSON(&buf); err != nil {
+				fatal(err)
+			}
+			if err := distrib.WriteFramed(os.Stdout, buf.Bytes()); err != nil {
+				fatal(err)
+			}
+			break
+		}
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
 		}

@@ -12,16 +12,18 @@
 //	phi-fleet -shards 10 -n 10000 -beam-runs 10000 -beam-ecc-ablation -out sweep.json
 //	phi-fleet -shards 3 -spec spec.json -worker-cmd "bin/phi-bench" -out sweep.json
 //	phi-fleet -shards 8 -ssh node1,node2,node3 -ssh-bin /opt/phirel/phi-bench -out sweep.json
+//	phi-fleet -shards 16 -k8s -k8s-image ghcr.io/you/phirel:latest -k8s-namespace phirel -out sweep.json
 //
 // The grid flags mirror phi-bench -sweep exactly, so swapping one command
 // for the other changes nothing about the resulting artifact. Workers are
-// resolved in this order: -ssh (remote), -worker-cmd (explicit local
-// command), a phi-bench binary next to the phi-fleet executable, phi-bench
-// from PATH.
+// resolved in this order: -k8s (one Kubernetes Job per shard, via kubectl),
+// -ssh (remote), -worker-cmd (explicit local command), a phi-bench binary
+// next to the phi-fleet executable, phi-bench from PATH.
 package main
 
 import (
 	"context"
+	"crypto/rand"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,8 @@ import (
 func main() {
 	var grid cli.SweepFlags
 	grid.Register(flag.CommandLine, "")
+	var k8s cli.K8sFlags
+	k8s.Register(flag.CommandLine)
 	var (
 		shards  = flag.Int("shards", 3, "fan-out width K: how many shard workers to launch")
 		specArg = flag.String("spec", "", "read the sweep spec from this fleet spec JSON file ('-' = stdin) instead of the grid flags")
@@ -71,9 +75,22 @@ func main() {
 		fatal(err)
 	}
 
+	// Job names must be unique per fan-out even when runs share a
+	// namespace: the temp workdir's basename is random, but an explicit
+	// -dir need not be and pids recycle across machines and containers, so
+	// a random suffix is mixed in too (name truncation keeps the tail).
+	var salt [3]byte
+	rand.Read(salt[:])
+	launch, err := k8s.Launcher(fmt.Sprintf("%s-%x", filepath.Base(workdir), salt))
+	if err != nil {
+		fatal(err)
+	}
+	if launch == nil {
+		launch = launcher(*sshHosts, *sshBin, *workerCmd)
+	}
 	opts := distrib.Options{
 		Shards:        *shards,
-		Launcher:      launcher(*sshHosts, *sshBin, *workerCmd),
+		Launcher:      launch,
 		Dir:           workdir,
 		Timeout:       *timeout,
 		Retries:       *retries,

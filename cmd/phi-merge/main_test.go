@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phirel/internal/fault"
+	"phirel/internal/fleet"
+)
+
+// TestMain doubles as the phi-merge executable: re-exec'd with
+// PHIREL_BE_PHI_MERGE=1, the test binary runs main(), so the error paths —
+// exit codes and stderr text included — are exercised exactly as an
+// operator hits them, without building the command first.
+func TestMain(m *testing.M) {
+	if os.Getenv("PHIREL_BE_PHI_MERGE") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runMerge re-execs this binary as phi-merge and returns (exit code, stderr).
+func runMerge(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PHIREL_BE_PHI_MERGE=1")
+	cmd.Stdout = io.Discard
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec failed before main ran: %v", err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+// testPartials runs a tiny 2-way sharded sweep and writes its partials plus
+// the monolithic reference artifact into dir.
+func testPartials(t *testing.T, dir string) (parts []string, mono string) {
+	t.Helper()
+	spec := fleet.Sweep{
+		Benchmarks: []string{"DGEMM"},
+		Models:     []fault.Model{fault.Single},
+		N:          6, Seed: 1701, BenchSeed: 1, Workers: 2,
+	}
+	for k := 0; k < 2; k++ {
+		res, err := spec.RunShard(context.Background(), k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("sweep-shard-%d-of-2.json", k+1))
+		if err := res.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, path)
+	}
+	res, err := spec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono = filepath.Join(dir, "sweep.json")
+	if err := res.WriteFile(mono); err != nil {
+		t.Fatal(err)
+	}
+	return parts, mono
+}
+
+// expectFailure asserts a non-zero exit whose stderr carries the needle —
+// the operator-facing contract for every error path.
+func expectFailure(t *testing.T, needle string, args ...string) {
+	t.Helper()
+	code, stderr := runMerge(t, args...)
+	if code == 0 {
+		t.Fatalf("phi-merge %v exited 0, want failure", args)
+	}
+	if !strings.Contains(stderr, needle) {
+		t.Fatalf("phi-merge %v stderr misses %q:\n%s", args, needle, stderr)
+	}
+}
+
+func TestMergeNoArgs(t *testing.T) {
+	expectFailure(t, "no shard files given")
+}
+
+func TestMergeMissingFile(t *testing.T) {
+	expectFailure(t, "no partial artifacts match", filepath.Join(t.TempDir(), "nope.json"))
+}
+
+func TestMergeDuplicatePartialPath(t *testing.T) {
+	parts, _ := testPartials(t, t.TempDir())
+	expectFailure(t, "twice", parts[0], parts[0], parts[1])
+}
+
+func TestMergeDuplicateShardCopy(t *testing.T) {
+	dir := t.TempDir()
+	parts, _ := testPartials(t, dir)
+	// A copied partial under a fresh name dodges the path dedup; the merge
+	// layer must still reject the repeated shard index.
+	data, err := os.ReadFile(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPath := filepath.Join(dir, "copied-partial.json")
+	if err := os.WriteFile(copyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectFailure(t, "more than once", parts[0], parts[1], copyPath)
+}
+
+func TestMergeRejectsCompleteArtifact(t *testing.T) {
+	parts, mono := testPartials(t, t.TempDir())
+	expectFailure(t, "not a shard partial", parts[0], parts[1], mono)
+}
+
+func TestMergeMissingShard(t *testing.T) {
+	parts, _ := testPartials(t, t.TempDir())
+	expectFailure(t, "want 2", parts[0])
+}
+
+func TestMergeTruncatedPartial(t *testing.T) {
+	dir := t.TempDir()
+	parts, _ := testPartials(t, dir)
+	bad := filepath.Join(dir, "truncated-partial.json")
+	if err := os.WriteFile(bad, []byte(`{"spec": {"n"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectFailure(t, "truncated", parts[0], bad)
+}
+
+// TestMergeHappyPathBytes keeps the harness honest: the success path must
+// exit 0 and write the byte-identical monolithic artifact.
+func TestMergeHappyPathBytes(t *testing.T) {
+	dir := t.TempDir()
+	parts, mono := testPartials(t, dir)
+	out := filepath.Join(dir, "merged.json")
+	code, stderr := runMerge(t, append([]string{"-out", out}, parts...)...)
+	if code != 0 {
+		t.Fatalf("merge exited %d:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "folded 2 shards") {
+		t.Fatalf("success summary missing:\n%s", stderr)
+	}
+	want, err := os.ReadFile(mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("CLI merge not byte-identical to the monolithic artifact")
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	_ "phirel/internal/bench/all"
+	"phirel/internal/fault"
+	"phirel/internal/fleet"
+)
+
+// TestMain doubles as the phi-report executable (re-exec'd with
+// PHIREL_BE_PHI_REPORT=1), so exit codes and stderr text are tested exactly
+// as an operator sees them.
+func TestMain(m *testing.M) {
+	if os.Getenv("PHIREL_BE_PHI_REPORT") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runReport(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PHIREL_BE_PHI_REPORT=1")
+	cmd.Stdout = io.Discard
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec failed before main ran: %v", err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+func expectReportFailure(t *testing.T, needle string, args ...string) {
+	t.Helper()
+	code, stderr := runReport(t, args...)
+	if code == 0 {
+		t.Fatalf("phi-report %v exited 0, want failure", args)
+	}
+	if !strings.Contains(stderr, needle) {
+		t.Fatalf("phi-report %v stderr misses %q:\n%s", args, needle, stderr)
+	}
+}
+
+func TestReportNoInput(t *testing.T) {
+	expectReportFailure(t, "missing -in")
+}
+
+func TestReportSweepMissingFile(t *testing.T) {
+	expectReportFailure(t, "no such file", "-sweep", filepath.Join(t.TempDir(), "nope.json"))
+}
+
+func TestReportSweepTruncatedArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(`{"spec": {"n"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectReportFailure(t, "truncated", "-sweep", path)
+}
+
+// TestReportSweepRejectsUnmergedShardPartial: rendering one shard as if it
+// were the campaign would silently misreport every figure, so the CLI must
+// refuse and point at phi-merge.
+func TestReportSweepRejectsUnmergedShardPartial(t *testing.T) {
+	spec := fleet.Sweep{
+		Benchmarks: []string{"DGEMM"},
+		Models:     []fault.Model{fault.Single},
+		N:          6, Seed: 1701, BenchSeed: 1, Workers: 2,
+	}
+	res, err := spec.RunShard(context.Background(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep-shard-1-of-3.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	expectReportFailure(t, "phi-merge", "-sweep", path)
+	expectReportFailure(t, "unmerged shard partial", "-sweep", path)
+}
+
+func TestReportLogMissingFile(t *testing.T) {
+	expectReportFailure(t, "no such file", "-in", filepath.Join(t.TempDir(), "nope.jsonl"))
+}
+
+func TestReportLogEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectReportFailure(t, "no records", "-in", path)
+}

@@ -1,0 +1,286 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The launcher conformance suite: one behavioural table executed against
+// every Launcher backend — Exec (real subprocesses), SSH (the test binary
+// standing in for ssh, spec over stdin, partial over stdout) and K8s (the
+// scripted fake cluster). Every current and future backend must satisfy the
+// same contract the supervisor is built on:
+//
+//   - a K-way fan-out merges byte-identical to the monolithic sweep and its
+//     aggregated progress stream converges (bit-identical K-way merge);
+//   - a worker that dies on its first attempt is relaunched within the
+//     retry budget and the merge still holds (retry/backoff rotation —
+//     each backend's rotation specifics, ssh host round-robin and k8s
+//     fresh-per-attempt Job names, are locked by their own unit tests);
+//   - a worker that hangs is killed by the per-attempt timeout and the
+//     failure reads as a timeout, within bounded wall clock (timeout→kill);
+//   - a permanently failing fan-out names every failed shard, carries each
+//     shard's diagnostic stderr tail, and surfaces the backend's native
+//     failure evidence (stderr tail surfaced);
+//   - a worker that "succeeds" while leaving an unusable artifact is caught
+//     by revalidation and retried (corrupt-partial revalidation).
+//
+// New backends plug in by adding a confFixture; the table does the rest.
+
+// confMode selects which failure a fixture injects into its workers.
+type confMode int
+
+const (
+	confClean       confMode = iota
+	confCrashOnce            // every shard fails its first attempt with a real worker error
+	confHangShard0           // shard 0 never finishes on its own; only a kill ends it
+	confAlwaysCrash          // every attempt of every shard fails, leaving a diagnostic tail line
+	confCorruptOnce          // every shard's first attempt exits cleanly with an unusable partial
+)
+
+// confFixture adapts one Launcher backend to the conformance table.
+type confFixture struct {
+	name string
+	// subprocess fixtures exec real worker processes; they are skipped in
+	// -short (the race job) because a child process is invisible to the
+	// parent's race detector — the in-process k8s fixture keeps the table
+	// race-covered.
+	subprocess bool
+	// failureNeedle is the backend's native failure evidence that must
+	// appear in a permanent-failure error: real exit codes for process
+	// backends, the Job failure condition for k8s.
+	failureNeedle string
+	launcher      func(t *testing.T, mode confMode) Launcher
+}
+
+func conformanceFixtures() []confFixture {
+	return []confFixture{
+		{
+			name:          "Exec",
+			subprocess:    true,
+			failureNeedle: "exit status 3",
+			launcher: func(t *testing.T, mode confMode) Launcher {
+				env := workerEnv()
+				switch mode {
+				case confCrashOnce:
+					env = workerEnv("PHIREL_FAKE_FAIL_ONCE_DIR=" + t.TempDir())
+				case confHangShard0:
+					env = workerEnv("PHIREL_FAKE_HANG=0")
+				case confAlwaysCrash:
+					env = workerEnv("PHIREL_FAKE_FAIL_ALWAYS=1")
+				case confCorruptOnce:
+					env = workerEnv("PHIREL_FAKE_CORRUPT_ONCE_DIR=" + t.TempDir())
+				}
+				return ExecLauncher{Command: []string{os.Args[0]}, Env: env}
+			},
+		},
+		{
+			name:          "SSH",
+			subprocess:    true,
+			failureNeedle: "exit status 3",
+			launcher: func(t *testing.T, mode confMode) Launcher {
+				// The ssh transport inherits the test process environment,
+				// so the failure knobs go through t.Setenv.
+				t.Setenv("PHIREL_FAKE_WORKER", "1")
+				switch mode {
+				case confCrashOnce:
+					t.Setenv("PHIREL_FAKE_FAIL_ONCE_DIR", t.TempDir())
+				case confHangShard0:
+					t.Setenv("PHIREL_FAKE_HANG", "0")
+				case confAlwaysCrash:
+					t.Setenv("PHIREL_FAKE_FAIL_ALWAYS", "1")
+				case confCorruptOnce:
+					t.Setenv("PHIREL_FAKE_CORRUPT_ONCE_DIR", t.TempDir())
+				}
+				return SSHLauncher{
+					Hosts: []string{"nodeA", "nodeB"},
+					Bin:   "phi-bench",
+					SSH:   []string{os.Args[0]},
+				}
+			},
+		},
+		{
+			name:          "K8s",
+			failureNeedle: "CrashLoopBackOff",
+			launcher: func(t *testing.T, mode confMode) Launcher {
+				script := func(shard, attempt int) podMode {
+					switch mode {
+					case confCrashOnce:
+						if attempt == 0 {
+							return podCrashLoop
+						}
+					case confHangShard0:
+						if shard == 0 {
+							return podHang
+						}
+					case confAlwaysCrash:
+						return podCrashLoop
+					case confCorruptOnce:
+						if attempt == 0 {
+							return podCorrupt
+						}
+					}
+					return podSucceed
+				}
+				return K8sLauncher{
+					Namespace: "phirel-conf",
+					Image:     "ghcr.io/phirel/phi-bench:test",
+					RunName:   "conf",
+					client:    newFakeKube(script),
+				}
+			},
+		},
+	}
+}
+
+// confLogs captures supervisor lifecycle lines for a run.
+type confLogs struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *confLogs) logf(format string, args ...any) {
+	l.mu.Lock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}
+
+func (l *confLogs) joined() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Join(l.lines, "\n")
+}
+
+// TestLauncherConformanceSweep runs the shared behavioural table against
+// every launcher backend.
+func TestLauncherConformanceSweep(t *testing.T) {
+	spec := testSweep()
+	_, monoJSON := monoArtifact(t, spec)
+	for _, fx := range conformanceFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			if fx.subprocess {
+				skipInShort(t)
+			}
+
+			t.Run("MergeBitIdentical", func(t *testing.T) {
+				var mu sync.Mutex
+				var last Progress
+				merged, err := Run(context.Background(), spec, Options{
+					Shards:   3,
+					Launcher: fx.launcher(t, confClean),
+					Dir:      t.TempDir(),
+					Progress: func(p Progress) {
+						mu.Lock()
+						last = p
+						mu.Unlock()
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+					t.Fatal("3-way fan-out merge not byte-identical to the monolithic sweep")
+				}
+				cells := len(spec.Cells()) + len(spec.BeamCells())
+				if last.Done != last.Total || last.Total != cells*3 {
+					t.Fatalf("final aggregated progress %+v, want %d/%d", last, cells*3, cells*3)
+				}
+			})
+
+			t.Run("CrashRetryRecovers", func(t *testing.T) {
+				logs := &confLogs{}
+				merged, err := Run(context.Background(), spec, Options{
+					Shards:   2,
+					Launcher: fx.launcher(t, confCrashOnce),
+					Dir:      t.TempDir(),
+					Retries:  1, Backoff: time.Millisecond,
+					Logf: logs.logf,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+					t.Fatal("merge after first-attempt crashes not byte-identical")
+				}
+				if !strings.Contains(logs.joined(), "retry 1/1") {
+					t.Fatalf("supervisor never logged the relaunch:\n%s", logs.joined())
+				}
+			})
+
+			t.Run("TimeoutKillsHungWorker", func(t *testing.T) {
+				start := time.Now()
+				_, err := Run(context.Background(), spec, Options{
+					Shards:   2,
+					Launcher: fx.launcher(t, confHangShard0),
+					Dir:      t.TempDir(),
+					Timeout:  500 * time.Millisecond, Retries: 0,
+				})
+				if err == nil {
+					t.Fatal("fan-out with a hung worker succeeded")
+				}
+				if !strings.Contains(err.Error(), "timed out after") {
+					t.Fatalf("hung worker not reported as a timeout: %v", err)
+				}
+				if elapsed := time.Since(start); elapsed > 30*time.Second {
+					t.Fatalf("kill took %s; the hung worker was not reaped", elapsed)
+				}
+			})
+
+			t.Run("PermanentFailureSurfacesTails", func(t *testing.T) {
+				_, err := Run(context.Background(), spec, Options{
+					Shards:   3,
+					Launcher: fx.launcher(t, confAlwaysCrash),
+					Dir:      t.TempDir(),
+					Retries:  1, Backoff: time.Millisecond,
+				})
+				if err == nil {
+					t.Fatal("fan-out with only crashing workers succeeded")
+				}
+				msg := err.Error()
+				if !strings.Contains(msg, "3 of 3 shards failed permanently") {
+					t.Fatalf("error does not summarise the failures: %s", msg)
+				}
+				for k := 0; k < 3; k++ {
+					if !strings.Contains(msg, fmt.Sprintf("shard %d/3 failed after 2 attempt", k+1)) {
+						t.Fatalf("error does not report shard %d/3's attempts: %s", k+1, msg)
+					}
+					if !strings.Contains(msg, fmt.Sprintf("boom-from-shard-%d", k)) {
+						t.Fatalf("error does not carry shard %d's stderr tail: %s", k, msg)
+					}
+				}
+				if !strings.Contains(msg, fx.failureNeedle) {
+					t.Fatalf("error misses the backend's native failure evidence %q: %s", fx.failureNeedle, msg)
+				}
+			})
+
+			t.Run("CorruptPartialRevalidated", func(t *testing.T) {
+				logs := &confLogs{}
+				merged, err := Run(context.Background(), spec, Options{
+					Shards:   2,
+					Launcher: fx.launcher(t, confCorruptOnce),
+					Dir:      t.TempDir(),
+					Retries:  1, Backoff: time.Millisecond,
+					Logf: logs.logf,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+					t.Fatal("merge after corrupt-partial retries not byte-identical")
+				}
+				// The clean exit must have been caught by revalidation, not
+				// waved through.
+				joined := logs.joined()
+				if !strings.Contains(joined, "unusable") && !strings.Contains(joined, "corrupt") {
+					t.Fatalf("supervisor never reported the corrupt partial:\n%s", joined)
+				}
+			})
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package distrib
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,6 +32,12 @@ func TestMain(m *testing.M) {
 //	PHIREL_FAKE_FAIL_ONCE_DIR — every shard crashes (exit 3) on its first
 //	  attempt, tracked by marker files in the directory, and runs clean on
 //	  the retry — the crash-retry path through real exit codes.
+//	PHIREL_FAKE_FAIL_ALWAYS — every attempt of every shard crashes (exit 3)
+//	  with a "boom-from-shard-k" diagnostic, the conformance suite's
+//	  permanent-failure tail line.
+//	PHIREL_FAKE_CORRUPT_ONCE_DIR — every shard's first attempt exits 0 but
+//	  leaves a truncated artifact (marker-tracked), the clean-exit failure
+//	  the supervisor's revalidation must catch.
 //	PHIREL_FAKE_HANG=k — shard k blocks forever, so only a launcher-side
 //	  kill (per-attempt timeout) can end it.
 func fakeWorker() int {
@@ -46,7 +51,7 @@ func fakeWorker() int {
 	var specArg, shardArg, outArg string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
-		case "-sweep", "-progress-jsonl":
+		case "-sweep", "-progress-jsonl", "-frame-out":
 		case "-spec":
 			i++
 			specArg = args[i]
@@ -68,6 +73,10 @@ func fakeWorker() int {
 	}
 	k--
 
+	if os.Getenv("PHIREL_FAKE_FAIL_ALWAYS") == "1" {
+		fmt.Fprintf(os.Stderr, "boom-from-shard-%d\n", k)
+		return 3
+	}
 	if dir := os.Getenv("PHIREL_FAKE_FAIL_ONCE_DIR"); dir != "" {
 		marker := filepath.Join(dir, fmt.Sprintf("crashed-%d", k))
 		if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
@@ -76,8 +85,26 @@ func fakeWorker() int {
 			return 3
 		}
 	}
+	if dir := os.Getenv("PHIREL_FAKE_CORRUPT_ONCE_DIR"); dir != "" {
+		marker := filepath.Join(dir, fmt.Sprintf("corrupted-%d", k))
+		if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
+			os.WriteFile(marker, nil, 0o644)
+			// "Success" with a truncated artifact — on stdout for the
+			// streaming (ssh) transport, at the -out path for exec.
+			if outArg == "-" {
+				fmt.Print(`{"spec"`)
+			} else {
+				os.WriteFile(outArg, []byte(`{"spec"`), 0o644)
+			}
+			return 0
+		}
+	}
 	if os.Getenv("PHIREL_FAKE_HANG") == fmt.Sprint(k) {
-		select {} // hold the shard hostage until the launcher kills us
+		// Hold the shard hostage until the launcher kills us. A bare
+		// select{} would trip the runtime's deadlock detector and exit
+		// instantly; a timer-backed sleep genuinely hangs.
+		time.Sleep(time.Hour)
+		return 1
 	}
 
 	var spec fleet.Sweep
@@ -127,96 +154,13 @@ func skipInShort(t *testing.T) {
 	}
 }
 
-// TestExecLauncherSweepFanOut drives the full subprocess path: spec file,
-// real exec, stderr pipes demuxed into progress events, partials
-// validated and merged bit-identically.
-func TestExecLauncherSweepFanOut(t *testing.T) {
-	skipInShort(t)
-	spec := testSweep()
-	_, monoJSON := monoArtifact(t, spec)
-	var last Progress
-	merged, err := Run(context.Background(), spec, Options{
-		Shards:   3,
-		Launcher: ExecLauncher{Command: []string{os.Args[0]}, Env: workerEnv()},
-		Dir:      t.TempDir(),
-		Progress: func(p Progress) { last = p },
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
-		t.Fatal("exec fan-out merge not byte-identical to monolithic run")
-	}
-	if last.Done != last.Total || last.Total == 0 {
-		t.Fatalf("final aggregated progress %+v, want complete", last)
-	}
-}
-
-// TestExecLauncherSweepCrashRetry: every worker process exits 3 on its
-// first attempt; the supervisor relaunches each one and the merge still
-// holds. With the retry budget removed, the same crashes become a
-// permanent failure whose message carries the workers' real stderr.
-func TestExecLauncherSweepCrashRetry(t *testing.T) {
-	skipInShort(t)
-	spec := testSweep()
-	_, monoJSON := monoArtifact(t, spec)
-	markers := t.TempDir()
-	launcher := ExecLauncher{
-		Command: []string{os.Args[0]},
-		Env:     workerEnv("PHIREL_FAKE_FAIL_ONCE_DIR=" + markers),
-	}
-	merged, err := Run(context.Background(), spec, Options{
-		Shards: 2, Launcher: launcher, Dir: t.TempDir(),
-		Retries: 1, Backoff: time.Millisecond,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
-		t.Fatal("merge after real-process crash retries not byte-identical")
-	}
-
-	_, err = Run(context.Background(), spec, Options{
-		Shards: 2,
-		Launcher: ExecLauncher{
-			Command: []string{os.Args[0]},
-			Env:     workerEnv("PHIREL_FAKE_FAIL_ONCE_DIR=" + t.TempDir()),
-		},
-		Dir: t.TempDir(), Retries: 0,
-	})
-	if err == nil {
-		t.Fatal("crashing workers with no retry budget succeeded")
-	}
-	if !strings.Contains(err.Error(), "exit status 3") || !strings.Contains(err.Error(), "synthetic crash") {
-		t.Fatalf("permanent failure lost the exit code or stderr tail: %v", err)
-	}
-}
-
-// TestExecLauncherSweepTimeoutKill: a hung worker process is killed by the
-// per-attempt timeout; with no retries that is a permanent, clearly
-// labelled timeout failure.
-func TestExecLauncherSweepTimeoutKill(t *testing.T) {
-	skipInShort(t)
-	spec := testSweep()
-	launcher := ExecLauncher{
-		Command: []string{os.Args[0]},
-		Env:     workerEnv("PHIREL_FAKE_HANG=0"),
-	}
-	start := time.Now()
-	_, err := Run(context.Background(), spec, Options{
-		Shards: 2, Launcher: launcher, Dir: t.TempDir(),
-		Timeout: 300 * time.Millisecond, Retries: 0,
-	})
-	if err == nil {
-		t.Fatal("fan-out with a hung worker succeeded")
-	}
-	if !strings.Contains(err.Error(), "timed out after") {
-		t.Fatalf("hung worker not reported as a timeout: %v", err)
-	}
-	if elapsed := time.Since(start); elapsed > 30*time.Second {
-		t.Fatalf("kill took %s; the hung process was not reaped", elapsed)
-	}
-}
+// The full fan-out behaviours of the exec and ssh launchers — bit-identical
+// merges, crash retries through real exit codes, timeout kills of real
+// processes, corrupt-output revalidation, stderr tails — are exercised by
+// the launcher conformance suite (conformance_test.go), which runs the one
+// behavioural table against every backend. This file keeps the worker
+// protocol emulation (TestMain/fakeWorker) and the launcher-specific
+// mechanics the table does not cover.
 
 // TestSSHLauncherHostRotation: retries must not be pinned to a possibly
 // dead host — the attempt number rotates the round-robin so the retry
@@ -231,30 +175,5 @@ func TestSSHLauncherHostRotation(t *testing.T) {
 	}
 	if got := l.host(Task{Shard: 4, Attempt: 2}); got != "a" {
 		t.Fatalf("shard 4 attempt 2 on %q, want a", got)
-	}
-}
-
-// TestSSHLauncherSweepStreams exercises the remote transport with the test
-// binary standing in for ssh: the spec reaches the "remote" worker over
-// stdin, the partial streams back over stdout into the local partial path,
-// and the merge is bit-identical — no shared filesystem anywhere.
-func TestSSHLauncherSweepStreams(t *testing.T) {
-	skipInShort(t)
-	t.Setenv("PHIREL_FAKE_WORKER", "1")
-	spec := testSweep()
-	_, monoJSON := monoArtifact(t, spec)
-	launcher := SSHLauncher{
-		Hosts: []string{"nodeA", "nodeB"},
-		Bin:   "phi-bench",
-		SSH:   []string{os.Args[0]},
-	}
-	merged, err := Run(context.Background(), spec, Options{
-		Shards: 3, Launcher: launcher, Dir: t.TempDir(),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
-		t.Fatal("ssh-streamed merge not byte-identical to monolithic run")
 	}
 }

@@ -1,0 +1,474 @@
+package distrib
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"phirel/internal/fleet"
+)
+
+// The Kubernetes transport reuses the SSH launcher's shape — spec in, partial
+// streamed back, no shared filesystem — but a pod has neither a caller-owned
+// stdin nor separable output streams: kubelet interleaves the container's
+// stdout and stderr into one log. So the spec ships as a ConfigMap mounted
+// read-only into the worker pod, and the partial comes back through the pod
+// log wrapped in a sidecar-free stdout frame: the worker (phi-bench
+// -frame-out -out -) base64-encodes the artifact between sentinel lines, and
+// the launcher demuxes the merged log — framed lines rebuild the partial,
+// everything else (JSONL progress events, free-form diagnostics) flows to the
+// supervisor's stderr exactly as with any other launcher.
+
+const (
+	// FrameBegin and FrameEnd are the sentinel lines bracketing a framed
+	// partial artifact on a worker's stdout — the transport phi-bench
+	// -frame-out speaks and K8sLauncher demuxes out of merged pod logs.
+	FrameBegin = "-----BEGIN PHIREL PARTIAL-----"
+	FrameEnd   = "-----END PHIREL PARTIAL-----"
+
+	// frameCols wraps the base64 payload so no log line grows unbounded
+	// (kubelet caps line length and would split longer ones mid-token).
+	frameCols = 76
+)
+
+// WriteFramed writes artifact to w in the sidecar-free stdout frame:
+// FrameBegin, the payload base64-encoded in frameCols-wide lines, FrameEnd.
+// The encoding survives any transport that preserves lines but may
+// interleave streams or re-buffer writes — a Kubernetes pod log being the
+// motivating case.
+func WriteFramed(w io.Writer, artifact []byte) error {
+	if _, err := fmt.Fprintln(w, FrameBegin); err != nil {
+		return fmt.Errorf("distrib: frame: %w", err)
+	}
+	enc := base64.StdEncoding.EncodeToString(artifact)
+	for len(enc) > 0 {
+		n := frameCols
+		if n > len(enc) {
+			n = len(enc)
+		}
+		if _, err := fmt.Fprintln(w, enc[:n]); err != nil {
+			return fmt.Errorf("distrib: frame: %w", err)
+		}
+		enc = enc[n:]
+	}
+	if _, err := fmt.Fprintln(w, FrameEnd); err != nil {
+		return fmt.Errorf("distrib: frame: %w", err)
+	}
+	return nil
+}
+
+// frameScanner consumes a merged pod-log stream line by line: base64 lines
+// between the sentinels accumulate into the partial artifact, every other
+// line forwards to diag (the supervisor's stderr demux, which picks the
+// JSONL progress events out and keeps the rest for the failure tail). Feed
+// it through a lineWriter; read the result with artifact().
+type frameScanner struct {
+	diag     io.Writer
+	inFrame  bool
+	complete bool
+	b64      []byte
+	err      error
+}
+
+func (s *frameScanner) line(raw []byte) {
+	line := strings.TrimSpace(string(raw))
+	switch {
+	case line == FrameBegin:
+		if s.inFrame || s.complete {
+			s.fail(fmt.Errorf("distrib: worker log carries more than one partial frame"))
+			return
+		}
+		s.inFrame = true
+	case line == FrameEnd:
+		if !s.inFrame {
+			s.fail(fmt.Errorf("distrib: frame end sentinel with no opening sentinel"))
+			return
+		}
+		s.inFrame, s.complete = false, true
+	case s.inFrame:
+		if line == "" {
+			return
+		}
+		if !isBase64Line(line) {
+			// kubelet may interleave a straggling stderr line into the
+			// frame; anything outside the base64 alphabet cannot be
+			// payload, so route it to diagnostics instead of poisoning the
+			// artifact. (A diagnostic made purely of alphabet characters
+			// still corrupts the payload — the decode/validate gate then
+			// fails the attempt rather than trusting it.)
+			if s.diag != nil {
+				s.diag.Write(append(raw, '\n'))
+			}
+			return
+		}
+		s.b64 = append(s.b64, line...)
+	default:
+		if s.diag != nil {
+			s.diag.Write(append(raw, '\n'))
+		}
+	}
+}
+
+// isBase64Line reports whether line could be standard-base64 payload.
+func isBase64Line(line string) bool {
+	for _, r := range line {
+		switch {
+		case r >= 'A' && r <= 'Z', r >= 'a' && r <= 'z', r >= '0' && r <= '9',
+			r == '+', r == '/', r == '=':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *frameScanner) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.inFrame = false
+}
+
+// artifact returns the demuxed partial, or an error describing what the log
+// stream actually delivered: no frame at all (the worker died before its
+// sweep finished), a truncated frame (the stream was severed mid-transfer —
+// node loss, kubelet restart), or a corrupt payload.
+func (s *frameScanner) artifact() ([]byte, error) {
+	switch {
+	case s.err != nil:
+		return nil, s.err
+	case s.inFrame:
+		return nil, fmt.Errorf("distrib: partial frame truncated mid-stream (no end sentinel)")
+	case !s.complete:
+		return nil, fmt.Errorf("distrib: worker log carries no partial frame")
+	}
+	art, err := base64.StdEncoding.DecodeString(string(s.b64))
+	if err != nil {
+		return nil, fmt.Errorf("distrib: partial frame payload corrupt: %w", err)
+	}
+	return art, nil
+}
+
+// k8sJob is the one shape the launcher asks a cluster to run: a single-pod,
+// single-container batch Job with the shard spec ConfigMap mounted at
+// SpecMountPath and no cluster-side retries — backoffLimit is pinned to 0 by
+// the manifest builder because the distrib supervisor owns the retry budget,
+// and a second scheduler silently relaunching workers is exactly where
+// divergence between "what ran" and "what the supervisor accounted for"
+// creeps in.
+type k8sJob struct {
+	Name      string
+	Namespace string
+	Image     string
+	// Command is the full container argv (the phi-bench worker invocation).
+	Command []string
+	// ConfigMap names the spec ConfigMap to mount at SpecMountPath.
+	ConfigMap string
+	// TTLSeconds, when > 0, sets ttlSecondsAfterFinished so a finished Job
+	// is garbage-collected even if the supervisor dies before cleanup.
+	TTLSeconds int
+	// DeadlineSeconds, when > 0, sets activeDeadlineSeconds so the cluster
+	// itself kills a worker that outlives its attempt — the backstop for a
+	// hung pod whose supervisor died before its timeout could delete the
+	// Job (ttlSecondsAfterFinished only covers finished Jobs).
+	DeadlineSeconds int
+	// Labels land on the Job and its pod template.
+	Labels map[string]string
+}
+
+// kubeClient is the narrow seam between K8sLauncher and a cluster: exactly
+// the five operations one shard Job needs. Production traffic goes through
+// kubectlClient; tests script pod lifecycles (success, CrashLoopBackOff,
+// OOMKill, node loss mid-stream) against an in-memory fake.
+type kubeClient interface {
+	createConfigMap(ctx context.Context, namespace, name string, data map[string]string) error
+	createJob(ctx context.Context, job k8sJob) error
+	// followJobLogs streams the job's merged pod log (stdout and stderr
+	// interleaved, as kubelet stores them) from the beginning, following
+	// until the container terminates or ctx ends.
+	followJobLogs(ctx context.Context, namespace, name string) (io.ReadCloser, error)
+	// awaitJob blocks until the job is terminal: nil for Complete, an error
+	// naming the failure (CrashLoopBackOff, OOMKilled, DeadlineExceeded,
+	// a lost node, ...) otherwise.
+	awaitJob(ctx context.Context, namespace, name string) error
+	// deleteJobResources removes the job (cascading to its pods — this is
+	// how a timed-out worker is killed) and its spec ConfigMap.
+	deleteJobResources(ctx context.Context, namespace, jobName, configMapName string) error
+}
+
+const (
+	// SpecMountPath is where the spec ConfigMap is mounted inside worker
+	// pods; the worker reads SpecMountPath/SpecFileName.
+	SpecMountPath = "/etc/phirel"
+
+	// k8sCleanupTimeout bounds the post-attempt resource deletion, which
+	// runs on a fresh context because the attempt's context is typically
+	// already dead (timeout, cancellation) when cleanup matters most.
+	k8sCleanupTimeout = 30 * time.Second
+
+	// k8sLogDrainGrace is how long after the Job goes terminal the launcher
+	// keeps draining the log stream before cutting it off: long enough to
+	// finish reading a framed artifact that lags the terminal status,
+	// bounded so a wedged log follower cannot wedge the attempt.
+	k8sLogDrainGrace = 30 * time.Second
+)
+
+// K8sLauncher launches each shard worker as one Kubernetes Job. The sweep
+// spec ships to the pod as a ConfigMap (no shared filesystem), the partial
+// artifact streams back through the pod log in the WriteFramed stdout
+// protocol, and progress/diagnostics flow to the supervisor like any other
+// launcher. Jobs are created with backoffLimit 0 — the supervisor's retry
+// budget is the only retry loop — and every attempt gets fresh, uniquely
+// named resources, so a relaunch never races the remains of the attempt it
+// replaces.
+type K8sLauncher struct {
+	// Namespace the Jobs and ConfigMaps are created in (default "default").
+	Namespace string
+	// Image is the container image holding phi-bench (required).
+	Image string
+	// Bin is the phi-bench executable inside the image (default
+	// "phi-bench", resolved by the image's PATH).
+	Bin string
+	// JobTTL, when > 0, sets ttlSecondsAfterFinished on each Job so the
+	// cluster garbage-collects stragglers even if the supervisor dies
+	// before its own cleanup runs.
+	JobTTL time.Duration
+	// RunName prefixes the per-shard resource names (default "phirel");
+	// give concurrent fan-outs sharing a namespace distinct RunNames.
+	RunName string
+	// Kubectl is the kubectl argv prefix (default {"kubectl"}) — the place
+	// for {"kubectl", "--context", "lab"} or a full path.
+	Kubectl []string
+
+	// client overrides the kubectl-backed cluster client; tests inject the
+	// scripted fake here.
+	client kubeClient
+}
+
+// k8sWorkerArgs is the container argv for task: the canonical worker flags
+// (WorkerArgs, the single definition the exec and ssh launchers share) with
+// the spec read from its ConfigMap mount, the partial on stdout, and the
+// stdout frame switched on.
+func k8sWorkerArgs(bin string, task Task) []string {
+	t := task
+	t.SpecPath = SpecMountPath + "/" + SpecFileName
+	t.OutPath = "-"
+	return append(append([]string{bin}, WorkerArgs(t, false)...), "-frame-out")
+}
+
+// jobName builds the DNS-1123 Job name for one task attempt. The attempt
+// number is part of the name, so a retry creates fresh resources instead of
+// colliding with (or half-trusting) whatever the failed attempt left behind.
+func jobName(run string, task Task) string {
+	suffix := fmt.Sprintf("-shard-%d-of-%d-r%d", task.Shard+1, task.Count, task.Attempt)
+	// The Job name and its "<name>-spec" ConfigMap must both fit DNS-1123's
+	// 63-char label limit.
+	return sanitizeDNS1123(run, 63-len("-spec")-len(suffix)) + suffix
+}
+
+// sanitizeDNS1123 coerces s into a DNS-1123 label fragment of at most max
+// chars: lowercase alphanumerics and dashes, no leading/trailing dash,
+// "phirel" when nothing survives. Over-long names keep their TAIL — the
+// uniqueness callers mix in (temp-dir randomness, pid) lives at the end,
+// and truncating it away would let concurrent fan-outs collide.
+func sanitizeDNS1123(s string, max int) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	out := b.String()
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	out = strings.Trim(out, "-")
+	if out == "" {
+		return "phirel"
+	}
+	return out
+}
+
+// kube returns the configured cluster client, defaulting to kubectl.
+func (l K8sLauncher) kube() kubeClient {
+	if l.client != nil {
+		return l.client
+	}
+	return &kubectlClient{argv: l.Kubectl}
+}
+
+// Launch runs task as one Kubernetes Job and blocks until the partial lands
+// at task.OutPath or the attempt fails. Cancelling ctx deletes the Job —
+// that is the kill path the per-attempt timeout relies on.
+func (l K8sLauncher) Launch(ctx context.Context, task Task, stderr io.Writer) error {
+	if l.Image == "" {
+		return fmt.Errorf("distrib: K8sLauncher has no image")
+	}
+	ns := l.Namespace
+	if ns == "" {
+		ns = "default"
+	}
+	bin := l.Bin
+	if bin == "" {
+		bin = "phi-bench"
+	}
+	client := l.kube()
+
+	// Re-parse the spec file rather than shipping raw bytes: a corrupt or
+	// mislabelled spec should fail here, on the supervisor's machine, not
+	// as K confusing CrashLoopBackOffs.
+	spec, err := fleet.ReadSpecFile(task.SpecPath)
+	if err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
+	data, err := spec.SpecString()
+	if err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
+
+	name := jobName(l.RunName, task)
+	// Each attempt gets its own spec ConfigMap, deliberately: the spec is
+	// tiny, per-attempt resources make cleanup unconditional (no ownership
+	// or refcount coordination across concurrent shard launches), and a
+	// relaunch can never read a half-deleted shared object.
+	cmName := name + "-spec"
+	if err := client.createConfigMap(ctx, ns, cmName, map[string]string{SpecFileName: data}); err != nil {
+		return fmt.Errorf("distrib: k8s ConfigMap %s/%s: %w", ns, cmName, err)
+	}
+	// Cleanup always runs, on a fresh context: when the attempt context is
+	// dead (timeout, cancellation) is exactly when deleting the Job — the
+	// kill — matters most. JobTTL is only the backstop for a supervisor
+	// that dies before reaching this.
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), k8sCleanupTimeout)
+		defer cancel()
+		if err := client.deleteJobResources(dctx, ns, name, cmName); err != nil {
+			// A failed delete means the kill may not have happened and the
+			// resources leaked — say so where the supervisor keeps shard
+			// diagnostics, instead of failing silently.
+			fmt.Fprintf(stderr, "distrib: k8s cleanup of Job %s/%s failed (worker may still be running): %v\n", ns, name, err)
+		}
+	}()
+
+	job := k8sJob{
+		Name:      name,
+		Namespace: ns,
+		Image:     l.Image,
+		Command:   k8sWorkerArgs(bin, task),
+		ConfigMap: cmName,
+		Labels: map[string]string{
+			"app.kubernetes.io/name":      "phirel",
+			"app.kubernetes.io/component": "shard-worker",
+			"phirel.dev/shard":            fmt.Sprintf("%d-of-%d", task.Shard+1, task.Count),
+			"phirel.dev/attempt":          strconv.Itoa(task.Attempt),
+		},
+	}
+	if l.JobTTL > 0 {
+		job.TTLSeconds = int(l.JobTTL / time.Second)
+	}
+	// Mirror the attempt's deadline into the Job itself, so a hung worker
+	// dies even if this supervisor never gets to delete it.
+	if dl, ok := ctx.Deadline(); ok {
+		if secs := int(time.Until(dl).Seconds()) + 1; secs > 0 {
+			job.DeadlineSeconds = secs
+		}
+	}
+	if err := client.createJob(ctx, job); err != nil {
+		return fmt.Errorf("distrib: k8s Job %s/%s: %w", ns, name, err)
+	}
+
+	// Drain the merged pod log concurrently with waiting for the Job's
+	// terminal state: the demuxed frame rebuilds the partial, the rest
+	// feeds the supervisor's progress mux and failure tail.
+	fs := &frameScanner{diag: stderr}
+	lctx, lcancel := context.WithCancel(ctx)
+	defer lcancel()
+	var logBytes atomic.Bool
+	logDone := make(chan error, 1)
+	go func() {
+		logs, err := client.followJobLogs(lctx, ns, name)
+		if err != nil {
+			logDone <- err
+			return
+		}
+		lw := &lineWriter{fn: fs.line}
+		_, cerr := io.Copy(&seenWriter{w: lw, seen: &logBytes}, logs)
+		logs.Close()
+		lw.Flush()
+		logDone <- cerr
+	}()
+	jobErr := client.awaitJob(ctx, ns, name)
+	if jobErr != nil && !logBytes.Load() {
+		// The Job failed without ever producing log bytes (node lost
+		// pre-start, image pull failure): there is no frame in flight worth
+		// draining, so cut the follower instead of stalling out the grace.
+		lcancel()
+	}
+	var logErr error
+	select {
+	case logErr = <-logDone:
+	case <-time.After(k8sLogDrainGrace):
+		lcancel()
+		logErr = <-logDone
+	case <-ctx.Done():
+		lcancel()
+		logErr = <-logDone
+	}
+
+	if ctx.Err() != nil {
+		// A worker killed on ctx expiry (job deleted by the deferred
+		// cleanup) surfaces as the ctx error, so timeouts read as timeouts.
+		return ctx.Err()
+	}
+	if jobErr != nil {
+		return fmt.Errorf("distrib: k8s Job %s/%s: %w", ns, name, jobErr)
+	}
+	art, err := fs.artifact()
+	if err != nil {
+		if logErr != nil {
+			return fmt.Errorf("distrib: k8s Job %s/%s: %w (log stream: %v)", ns, name, err, logErr)
+		}
+		return fmt.Errorf("distrib: k8s Job %s/%s: %w", ns, name, err)
+	}
+	return landArtifact(task.OutPath, art)
+}
+
+// landArtifact writes the partial atomically via a sibling temp file, like
+// the ssh transport: a failure mid-write must never leave either a
+// plausible-looking partial or a stray .tmp in the workdir the operator is
+// pointed at as failure evidence.
+func landArtifact(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: %w", err)
+	}
+	return nil
+}
+
+// seenWriter forwards to w and flags the first delivered byte — the signal
+// that a log stream actually started and is worth draining.
+type seenWriter struct {
+	w    io.Writer
+	seen *atomic.Bool
+}
+
+func (s *seenWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		s.seen.Store(true)
+	}
+	return s.w.Write(p)
+}

@@ -1,0 +1,628 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"phirel/internal/fleet"
+)
+
+// podMode scripts the lifecycle of one fake Job launch — the cluster
+// behaviours the launcher must survive, per the supervisor-retry failure
+// taxonomy: clean success, a crash-looping container, an OOM kill, the node
+// vanishing mid-log-stream, a clean exit with a corrupt partial, and a pod
+// that never terminates on its own.
+type podMode int
+
+const (
+	podSucceed podMode = iota
+	podCrashLoop
+	podOOMKill
+	podNodeLoss
+	podCorrupt
+	podHang
+	// podNeverStarted: the Job fails without the container ever producing a
+	// log byte (node lost pre-start, image pull failure) — the log follower
+	// has nothing to drain and must not stall the attempt.
+	podNeverStarted
+)
+
+// fakeKube is the scripted in-memory cluster behind the kubeClient seam.
+// Resources are validated the way a real API server would complain
+// (duplicate names, dangling ConfigMap references), the pod "runs" the real
+// shard worker in-process against the ConfigMap-shipped spec, and the log
+// stream is the merged stdout+stderr a kubelet stores.
+type fakeKube struct {
+	mu         sync.Mutex
+	script     func(shard, attempt int) podMode
+	configMaps map[string]map[string]string
+	jobs       map[string]*fakeJob
+	created    []k8sJob
+	deletedJob []string
+	deletedCM  []string
+}
+
+type fakeJob struct {
+	spec                  k8sJob
+	mode                  podMode
+	shard, count, attempt int
+	logsDone              chan struct{} // closed when the log stream has been fully written
+	deleted               chan struct{} // closed by deleteJobResources
+	delOnce               sync.Once
+}
+
+// newFakeKube builds a cluster whose pods follow script(shard, attempt);
+// a nil script means every pod succeeds.
+func newFakeKube(script func(shard, attempt int) podMode) *fakeKube {
+	if script == nil {
+		script = func(int, int) podMode { return podSucceed }
+	}
+	return &fakeKube{
+		script:     script,
+		configMaps: map[string]map[string]string{},
+		jobs:       map[string]*fakeJob{},
+	}
+}
+
+func (f *fakeKube) createConfigMap(ctx context.Context, namespace, name string, data map[string]string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.configMaps[name]; dup {
+		return fmt.Errorf("configmaps %q already exists", name)
+	}
+	cp := map[string]string{}
+	for k, v := range data {
+		cp[k] = v
+	}
+	f.configMaps[name] = cp
+	return nil
+}
+
+func (f *fakeKube) createJob(ctx context.Context, job k8sJob) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.jobs[job.Name]; dup {
+		return fmt.Errorf("jobs %q already exists", job.Name)
+	}
+	if job.Image == "" {
+		return fmt.Errorf("job %q has no image", job.Name)
+	}
+	if _, ok := f.configMaps[job.ConfigMap]; !ok {
+		return fmt.Errorf("job %q references missing configmap %q", job.Name, job.ConfigMap)
+	}
+	var shard, count, attempt int
+	if _, err := fmt.Sscanf(job.Labels["phirel.dev/shard"], "%d-of-%d", &shard, &count); err != nil {
+		return fmt.Errorf("job %q shard label %q unparseable", job.Name, job.Labels["phirel.dev/shard"])
+	}
+	if _, err := fmt.Sscanf(job.Labels["phirel.dev/attempt"], "%d", &attempt); err != nil {
+		return fmt.Errorf("job %q attempt label unparseable", job.Name)
+	}
+	f.created = append(f.created, job)
+	f.jobs[job.Name] = &fakeJob{
+		spec:  job,
+		mode:  f.script(shard-1, attempt),
+		shard: shard - 1, count: count, attempt: attempt,
+		logsDone: make(chan struct{}),
+		deleted:  make(chan struct{}),
+	}
+	return nil
+}
+
+func (f *fakeKube) job(name string) (*fakeJob, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[name]
+	if !ok {
+		return nil, fmt.Errorf("jobs %q not found", name)
+	}
+	return j, nil
+}
+
+// workerLog emulates the container: spec in from the mounted ConfigMap
+// (exactly the bytes the launcher shipped — the spec→ConfigMap round-trip),
+// shard slice run in-process, and the merged stdout+stderr stream out —
+// JSONL progress events, free-form diagnostics, and the framed partial.
+func (f *fakeKube) workerLog(ctx context.Context, w io.Writer, j *fakeJob) error {
+	f.mu.Lock()
+	data := f.configMaps[j.spec.ConfigMap][SpecFileName]
+	f.mu.Unlock()
+	spec, err := fleet.ReadSpecString(data)
+	if err != nil {
+		fmt.Fprintf(w, "fake pod: %v\n", err)
+		return err
+	}
+	enc := json.NewEncoder(w)
+	spec.Progress = func(done, total int) {
+		enc.Encode(Event{Event: EventName, Shard: j.shard, Count: j.count, Done: done, Total: total})
+	}
+	fmt.Fprintf(w, "pod: shard %d/%d starting\n", j.shard+1, j.count)
+	res, err := spec.RunShard(ctx, j.shard, j.count)
+	if err != nil {
+		fmt.Fprintf(w, "fake pod: %v\n", err)
+		return err
+	}
+	var buf bytes.Buffer
+	if j.mode == podCorrupt {
+		// The container exits 0 but its artifact is garbage — the failure
+		// the supervisor's revalidation exists for.
+		buf.WriteString(`{"spec"`)
+	} else if err := res.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return WriteFramed(w, buf.Bytes())
+}
+
+func (f *fakeKube) followJobLogs(ctx context.Context, namespace, name string) (io.ReadCloser, error) {
+	j, err := f.job(name)
+	if err != nil {
+		return nil, err
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		defer close(j.logsDone)
+		switch j.mode {
+		case podSucceed, podCorrupt:
+			f.workerLog(ctx, pw, j)
+			pw.Close()
+		case podCrashLoop:
+			fmt.Fprintf(pw, "pod: shard %d/%d starting\n", j.shard+1, j.count)
+			fmt.Fprintf(pw, "boom-from-shard-%d\n", j.shard)
+			pw.Close()
+		case podOOMKill:
+			fmt.Fprintf(pw, "pod: shard %d/%d starting\n", j.shard+1, j.count)
+			fmt.Fprintf(pw, "oom-killing shard %d\n", j.shard)
+			pw.Close()
+		case podNodeLoss:
+			// The worker runs, the frame starts streaming back, and then
+			// the node vanishes: the log is severed mid-frame.
+			var buf bytes.Buffer
+			f.workerLog(ctx, &buf, j)
+			lines := strings.SplitAfter(buf.String(), "\n")
+			if len(lines) > 2 {
+				lines = lines[:len(lines)-2] // drop the end sentinel (and a payload line)
+			}
+			io.WriteString(pw, strings.Join(lines, ""))
+			pw.CloseWithError(errors.New("fake: connection to node lost"))
+		case podHang, podNeverStarted:
+			select {
+			case <-j.deleted:
+			case <-ctx.Done():
+			}
+			pw.CloseWithError(errors.New("fake: log stream aborted"))
+		}
+	}()
+	return pr, nil
+}
+
+func (f *fakeKube) awaitJob(ctx context.Context, namespace, name string) error {
+	j, err := f.job(name)
+	if err != nil {
+		return err
+	}
+	if j.mode == podNeverStarted {
+		// Terminal immediately, while the log follower is still waiting on
+		// a pod that will never produce a byte.
+		return errors.New("job failed: pod never started (node lost before start)")
+	}
+	// A Job only reaches a terminal condition once its pod stopped writing
+	// logs (or was deleted out from under it).
+	select {
+	case <-j.logsDone:
+	case <-j.deleted:
+		return errors.New("job deleted before completion")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	switch j.mode {
+	case podCrashLoop:
+		return errors.New("job failed: BackoffLimitExceeded: Job has reached the specified backoff limit (pod: CrashLoopBackOff)")
+	case podOOMKill:
+		return errors.New("job failed: BackoffLimitExceeded (pod: OOMKilled)")
+	case podNodeLoss:
+		return errors.New("job failed: pod deleted (node lost)")
+	case podHang:
+		return errors.New("job deleted before completion")
+	}
+	return nil
+}
+
+func (f *fakeKube) deleteJobResources(ctx context.Context, namespace, jobName, configMapName string) error {
+	f.mu.Lock()
+	j := f.jobs[jobName]
+	f.deletedJob = append(f.deletedJob, jobName)
+	f.deletedCM = append(f.deletedCM, configMapName)
+	delete(f.configMaps, configMapName)
+	f.mu.Unlock()
+	if j != nil {
+		j.delOnce.Do(func() { close(j.deleted) })
+	}
+	return nil
+}
+
+// k8sLauncher wires a launcher to the fake cluster with the defaults the
+// k8s tests share.
+func k8sLauncher(fk *fakeKube) K8sLauncher {
+	return K8sLauncher{
+		Namespace: "phirel-test",
+		Image:     "ghcr.io/phirel/phi-bench:test",
+		RunName:   "testrun",
+		JobTTL:    2 * time.Minute,
+		client:    fk,
+	}
+}
+
+// TestK8sLauncherSweepFanOut is the k8s acceptance test: a 3-way fan-out of
+// Jobs against the fake cluster — spec via ConfigMap, partial demuxed out of
+// the merged pod log — merges byte-identical to the monolithic sweep, the
+// aggregated progress stream converges, and every Job and ConfigMap is
+// cleaned up.
+func TestK8sLauncherSweepFanOut(t *testing.T) {
+	spec := testSweep()
+	_, monoJSON := monoArtifact(t, spec)
+	fk := newFakeKube(nil)
+	var mu sync.Mutex
+	var last Progress
+	merged, err := Run(context.Background(), spec, Options{
+		Shards:   3,
+		Launcher: k8sLauncher(fk),
+		Dir:      t.TempDir(),
+		Progress: func(p Progress) {
+			mu.Lock()
+			last = p
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+		t.Fatal("k8s fan-out merge not byte-identical to monolithic run")
+	}
+	if last.Done != last.Total || last.Total == 0 {
+		t.Fatalf("final aggregated progress %+v, want complete", last)
+	}
+	fk.mu.Lock()
+	defer fk.mu.Unlock()
+	if len(fk.created) != 3 {
+		t.Fatalf("created %d jobs, want 3", len(fk.created))
+	}
+	for _, j := range fk.created {
+		if j.Image == "" || j.Namespace != "phirel-test" {
+			t.Fatalf("job misconfigured: %+v", j)
+		}
+		if j.TTLSeconds != 120 {
+			t.Fatalf("job TTL %d, want 120s", j.TTLSeconds)
+		}
+		args := strings.Join(j.Command, " ")
+		if !strings.Contains(args, "-frame-out") || !strings.Contains(args, SpecMountPath+"/"+SpecFileName) {
+			t.Fatalf("worker argv misses the frame protocol or mounted spec: %v", j.Command)
+		}
+	}
+	if len(fk.deletedJob) != 3 || len(fk.deletedCM) != 3 {
+		t.Fatalf("cleanup incomplete: %d jobs, %d configmaps deleted", len(fk.deletedJob), len(fk.deletedCM))
+	}
+	if len(fk.configMaps) != 0 {
+		t.Fatalf("spec ConfigMaps leaked: %v", fk.configMaps)
+	}
+}
+
+// TestK8sLauncherScriptedFailuresRetry: each of the scripted cluster-side
+// failure modes — CrashLoopBackOff, OOMKill, node loss mid-stream, corrupt
+// partial from a clean exit — burns exactly one attempt and the supervisor's
+// relaunch (a fresh Job name, a fresh ConfigMap) recovers the fan-out to a
+// byte-identical merge.
+func TestK8sLauncherScriptedFailuresRetry(t *testing.T) {
+	spec := testSweep()
+	_, monoJSON := monoArtifact(t, spec)
+	modes := []struct {
+		name string
+		mode podMode
+	}{
+		{"CrashLoopBackOff", podCrashLoop},
+		{"OOMKill", podOOMKill},
+		{"NodeLossMidStream", podNodeLoss},
+		{"CorruptPartial", podCorrupt},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			fk := newFakeKube(func(shard, attempt int) podMode {
+				if shard == 1 && attempt == 0 {
+					return m.mode
+				}
+				return podSucceed
+			})
+			merged, err := Run(context.Background(), spec, Options{
+				Shards: 3, Launcher: k8sLauncher(fk), Dir: t.TempDir(),
+				Retries: 1, Backoff: time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+				t.Fatal("merge after scripted-failure retry not byte-identical")
+			}
+			fk.mu.Lock()
+			defer fk.mu.Unlock()
+			if len(fk.created) != 4 {
+				t.Fatalf("created %d jobs, want 4 (3 shards + 1 relaunch)", len(fk.created))
+			}
+			// The relaunch must be fresh resources, not a reuse of the
+			// failed attempt's name.
+			names := map[string]int{}
+			for _, j := range fk.created {
+				names[j.Name]++
+			}
+			for name, n := range names {
+				if n != 1 {
+					t.Fatalf("job name %q reused %d times across attempts", name, n)
+				}
+			}
+		})
+	}
+}
+
+// TestK8sLauncherFailureReasonSurfaced: when the retry budget is exhausted,
+// the permanent-failure error carries both the cluster's failure condition
+// and the pod's diagnostic log tail.
+func TestK8sLauncherFailureReasonSurfaced(t *testing.T) {
+	spec := testSweep()
+	for _, m := range []struct {
+		name, needle string
+		mode         podMode
+	}{
+		{"CrashLoopBackOff", "CrashLoopBackOff", podCrashLoop},
+		{"OOMKilled", "OOMKilled", podOOMKill},
+		{"NodeLoss", "node lost", podNodeLoss},
+	} {
+		t.Run(m.name, func(t *testing.T) {
+			fk := newFakeKube(func(shard, attempt int) podMode {
+				if shard == 0 {
+					return m.mode
+				}
+				return podSucceed
+			})
+			_, err := Run(context.Background(), spec, Options{
+				Shards: 2, Launcher: k8sLauncher(fk), Dir: t.TempDir(),
+				Retries: 1, Backoff: time.Millisecond,
+			})
+			if err == nil {
+				t.Fatal("fan-out with a permanently failing pod succeeded")
+			}
+			if !strings.Contains(err.Error(), m.needle) {
+				t.Fatalf("failure reason %q missing from error: %v", m.needle, err)
+			}
+			if !strings.Contains(err.Error(), "shard 1/2 failed after 2 attempt") {
+				t.Fatalf("error does not report the attempts: %v", err)
+			}
+		})
+	}
+}
+
+// TestK8sLauncherTimeoutDeletesJob: a pod that never terminates is ended by
+// the per-attempt timeout, reported as a timeout, and its Job is deleted —
+// deletion is the kill path on a cluster.
+func TestK8sLauncherTimeoutDeletesJob(t *testing.T) {
+	spec := testSweep()
+	fk := newFakeKube(func(shard, attempt int) podMode {
+		if shard == 0 {
+			return podHang
+		}
+		return podSucceed
+	})
+	start := time.Now()
+	_, err := Run(context.Background(), spec, Options{
+		Shards: 2, Launcher: k8sLauncher(fk), Dir: t.TempDir(),
+		Timeout: 500 * time.Millisecond, Retries: 0,
+	})
+	if err == nil {
+		t.Fatal("fan-out with a hung pod succeeded")
+	}
+	if !strings.Contains(err.Error(), "timed out after") {
+		t.Fatalf("hung pod not reported as a timeout: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("timeout handling took %s; the hung pod was not reaped", elapsed)
+	}
+	fk.mu.Lock()
+	defer fk.mu.Unlock()
+	hung := jobName("testrun", Task{Shard: 0, Count: 2})
+	deleted := false
+	for _, name := range fk.deletedJob {
+		if name == hung {
+			deleted = true
+		}
+	}
+	if !deleted {
+		t.Fatalf("hung job %q never deleted (deleted: %v)", hung, fk.deletedJob)
+	}
+	// The attempt deadline must also be mirrored into the Job itself —
+	// the cluster-side kill backstop for a supervisor that dies before
+	// its own delete can run.
+	for _, j := range fk.created {
+		if j.DeadlineSeconds <= 0 {
+			t.Fatalf("job %s carries no activeDeadlineSeconds despite the attempt timeout", j.Name)
+		}
+	}
+}
+
+// TestK8sLauncherNeverStartedFailsFast: a Job that goes terminal without
+// its pod ever logging a byte must fail the attempt promptly — the log
+// follower has nothing to drain, so the launcher cuts it instead of
+// sitting out the full drain grace per attempt.
+func TestK8sLauncherNeverStartedFailsFast(t *testing.T) {
+	spec := testSweep()
+	fk := newFakeKube(func(shard, attempt int) podMode {
+		if shard == 0 {
+			return podNeverStarted
+		}
+		return podSucceed
+	})
+	start := time.Now()
+	_, err := Run(context.Background(), spec, Options{
+		Shards: 2, Launcher: k8sLauncher(fk), Dir: t.TempDir(),
+		Retries: 1, Backoff: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("fan-out with a never-starting pod succeeded")
+	}
+	if !strings.Contains(err.Error(), "never started") {
+		t.Fatalf("failure reason lost: %v", err)
+	}
+	// Two attempts of the dead shard plus the healthy shard's real sweep —
+	// nowhere near the 2×30s a stalled drain grace would cost.
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("log-less failure took %s; the drain grace was not cut short", elapsed)
+	}
+}
+
+// TestK8sLauncherValidation: configuration errors fail fast, before any
+// cluster traffic.
+func TestK8sLauncherValidation(t *testing.T) {
+	task := Task{Shard: 0, Count: 1, SpecPath: "/nonexistent", OutPath: "/nonexistent"}
+	err := K8sLauncher{client: newFakeKube(nil)}.Launch(context.Background(), task, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "no image") {
+		t.Fatalf("imageless launcher: %v, want a no-image error", err)
+	}
+}
+
+func TestFramedRoundTrip(t *testing.T) {
+	artifact := bytes.Repeat([]byte(`{"x": "0123456789abcdef"}`+"\n"), 40)
+	var log bytes.Buffer
+	// A realistic merged pod log: diagnostics and progress around the frame.
+	fmt.Fprintln(&log, "pod: starting")
+	fmt.Fprintln(&log, `{"event":"sweep-progress","shard":0,"count":1,"done":1,"total":2}`)
+	if err := WriteFramed(&log, artifact); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&log, "pod: trailing diagnostic")
+
+	var diag bytes.Buffer
+	fs := &frameScanner{diag: &diag}
+	lw := &lineWriter{fn: fs.line}
+	if _, err := io.Copy(lw, &log); err != nil {
+		t.Fatal(err)
+	}
+	lw.Flush()
+	got, err := fs.artifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, artifact) {
+		t.Fatal("framed artifact did not round-trip through the merged log")
+	}
+	for _, want := range []string{"pod: starting", "sweep-progress", "trailing diagnostic"} {
+		if !strings.Contains(diag.String(), want) {
+			t.Fatalf("diagnostic line %q not forwarded: %q", want, diag.String())
+		}
+	}
+	if strings.Contains(diag.String(), FrameBegin) || strings.Contains(diag.String(), "0123456789") {
+		t.Fatalf("frame content leaked into the diagnostic stream: %q", diag.String())
+	}
+}
+
+func TestFrameScannerRejectsBrokenStreams(t *testing.T) {
+	feed := func(lines ...string) error {
+		fs := &frameScanner{diag: io.Discard}
+		for _, l := range lines {
+			fs.line([]byte(l))
+		}
+		_, err := fs.artifact()
+		return err
+	}
+	if err := feed("just diagnostics"); err == nil || !strings.Contains(err.Error(), "no partial frame") {
+		t.Fatalf("frameless log: %v", err)
+	}
+	if err := feed(FrameBegin, "aGVsbG8="); err == nil || !strings.Contains(err.Error(), "truncated mid-stream") {
+		t.Fatalf("severed frame: %v", err)
+	}
+	// Alphabet-valid but undecodable payload (bad length/padding) — the
+	// corruption the alphabet filter cannot catch — must fail the decode.
+	if err := feed(FrameBegin, "aGVsbG8", FrameEnd); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt payload: %v", err)
+	}
+	if err := feed(FrameBegin, "aGk=", FrameEnd, FrameBegin, "aGk=", FrameEnd); err == nil || !strings.Contains(err.Error(), "more than one") {
+		t.Fatalf("double frame: %v", err)
+	}
+	if err := feed(FrameEnd); err == nil {
+		t.Fatal("end sentinel with no opening accepted")
+	}
+}
+
+func TestJobNamePerAttemptAndSanitization(t *testing.T) {
+	task := Task{Shard: 1, Count: 3}
+	a0 := jobName("phi-fleet-123", task)
+	task.Attempt = 1
+	a1 := jobName("phi-fleet-123", task)
+	if a0 == a1 {
+		t.Fatalf("attempts share the job name %q; retries would collide with failed-attempt remains", a0)
+	}
+	if a0 != "phi-fleet-123-shard-2-of-3-r0" {
+		t.Fatalf("job name %q off-convention", a0)
+	}
+	// The Job name and its "-spec" ConfigMap must fit DNS-1123's 63-char
+	// label limit even for long run names, and truncation must keep the
+	// TAIL — that is where the caller's uniqueness (pid, temp randomness)
+	// lives, so a long shared basename must not erase it.
+	long := jobName(strings.Repeat("nightly-sweep-artifacts-", 4)+"p4242", Task{Shard: 0, Count: 10})
+	if len(long)+len("-spec") > 63 {
+		t.Fatalf("job name %q (+\"-spec\") exceeds the DNS-1123 label limit", long)
+	}
+	if !strings.Contains(long, "p4242") {
+		t.Fatalf("truncation dropped the unique tail: %q", long)
+	}
+	for _, tc := range []struct{ in, want string }{
+		{"Phi Fleet 99*", "phi-fleet-99"},
+		{"--", "phirel"},
+		{"", "phirel"},
+		{strings.Repeat("x", 100), strings.Repeat("x", 30)},
+	} {
+		if got := sanitizeDNS1123(tc.in, 30); got != tc.want {
+			t.Fatalf("sanitizeDNS1123(%q, 30) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestFrameSurvivesInterleavedDiagnostics: kubelet merges stdout and stderr
+// by line, so a straggling stderr line can land inside the frame. Lines
+// outside the base64 alphabet must route to diagnostics — not poison the
+// payload.
+func TestFrameSurvivesInterleavedDiagnostics(t *testing.T) {
+	artifact := bytes.Repeat([]byte(`{"k":"vvvvvvvv"}`), 30)
+	var framed bytes.Buffer
+	if err := WriteFramed(&framed, artifact); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(framed.String(), "\n")
+	// Inject a progress event and a diagnostic between payload lines.
+	interleaved := lines[0] + lines[1] +
+		`{"event":"sweep-progress","shard":0,"count":3,"done":5,"total":12}` + "\n" +
+		strings.Join(lines[2:len(lines)-1], "") +
+		"phi-bench: some straggling diagnostic\n" +
+		lines[len(lines)-1]
+	var diag bytes.Buffer
+	fs := &frameScanner{diag: &diag}
+	lw := &lineWriter{fn: fs.line}
+	io.WriteString(lw, interleaved)
+	lw.Flush()
+	got, err := fs.artifact()
+	if err != nil {
+		t.Fatalf("interleaved diagnostics poisoned the frame: %v", err)
+	}
+	if !bytes.Equal(got, artifact) {
+		t.Fatal("artifact corrupted by interleaved diagnostics")
+	}
+	if !strings.Contains(diag.String(), "sweep-progress") || !strings.Contains(diag.String(), "straggling") {
+		t.Fatalf("interleaved lines not routed to diagnostics: %q", diag.String())
+	}
+}

@@ -1,0 +1,337 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// kubectlClient is the production kubeClient: every seam operation is one
+// (or one polled) kubectl invocation, so the launcher needs no Kubernetes
+// API dependency — the binary the operator already authenticates with does
+// the talking. The manifest and status logic lives in pure functions
+// (jobManifest, configMapManifest, jobTerminal, podFailureReason) so the
+// cluster protocol is unit-testable without a cluster.
+type kubectlClient struct {
+	// argv is the kubectl command prefix (default {"kubectl"}).
+	argv []string
+}
+
+// k8sPollInterval paces the awaitJob status poll and the pod-pending retry
+// loop of followJobLogs.
+const k8sPollInterval = 2 * time.Second
+
+// command assembles the kubectl invocation for namespace ns.
+func (c *kubectlClient) command(ctx context.Context, ns string, args ...string) *exec.Cmd {
+	argv := c.argv
+	if len(argv) == 0 {
+		argv = []string{"kubectl"}
+	}
+	all := append(append([]string(nil), argv[1:]...), "--namespace", ns)
+	all = append(all, args...)
+	cmd := exec.CommandContext(ctx, argv[0], all...)
+	cmd.WaitDelay = waitDelay
+	return cmd
+}
+
+// run executes a kubectl invocation, feeding stdin when non-nil and folding
+// kubectl's stderr into the returned error.
+func (c *kubectlClient) run(ctx context.Context, ns string, stdin io.Reader, args ...string) ([]byte, error) {
+	cmd := c.command(ctx, ns, args...)
+	cmd.Stdin = stdin
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("kubectl %s: %w: %s", args[0], err, strings.TrimSpace(errb.String()))
+	}
+	return out.Bytes(), nil
+}
+
+func (c *kubectlClient) createConfigMap(ctx context.Context, namespace, name string, data map[string]string) error {
+	manifest, err := configMapManifest(namespace, name, data)
+	if err != nil {
+		return err
+	}
+	_, err = c.run(ctx, namespace, bytes.NewReader(manifest), "create", "-f", "-")
+	return err
+}
+
+func (c *kubectlClient) createJob(ctx context.Context, job k8sJob) error {
+	manifest, err := jobManifest(job)
+	if err != nil {
+		return err
+	}
+	_, err = c.run(ctx, job.Namespace, bytes.NewReader(manifest), "create", "-f", "-")
+	return err
+}
+
+// followJobLogs streams `kubectl logs -f job/<name>` into a pipe. The pod
+// may not exist yet (scheduling lag) or not be running yet, so follow
+// attempts that fail before delivering anything retry on the poll interval
+// until ctx ends — the launcher bounds the whole affair with the Job's
+// terminal state plus the drain grace, so a pod that never starts cannot
+// spin this loop forever. Once any bytes have been delivered, a broken
+// follow is NOT restarted: kubectl would replay the log from the
+// beginning, re-feeding frames and progress the consumer already saw, so
+// the break surfaces as a stream error and the supervisor's retry
+// relaunches the attempt cleanly instead.
+func (c *kubectlClient) followJobLogs(ctx context.Context, namespace, name string) (io.ReadCloser, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		var delivered atomic.Bool
+		// kubectl's own stderr is the native evidence when the follow never
+		// works (Forbidden, NotFound) — keep the last line of it so giving
+		// up can say why, instead of reporting a bare missing frame.
+		lastStderr := ""
+		fail := func(err error) error {
+			if lastStderr != "" {
+				return fmt.Errorf("%w (kubectl logs: %s)", err, lastStderr)
+			}
+			return err
+		}
+		for {
+			var errb bytes.Buffer
+			cmd := c.command(ctx, namespace, "logs", "--follow", "--pod-running-timeout=1m", "job/"+name)
+			cmd.Stdout = &seenWriter{w: pw, seen: &delivered}
+			cmd.Stderr = &errb
+			err := cmd.Run()
+			if msg := strings.TrimSpace(errb.String()); msg != "" {
+				lastStderr = msg
+			}
+			switch {
+			case err == nil:
+				pw.Close()
+				return
+			case ctx.Err() != nil:
+				pw.CloseWithError(fail(ctx.Err()))
+				return
+			case delivered.Load():
+				pw.CloseWithError(fail(fmt.Errorf("kubectl logs: stream interrupted mid-delivery: %w", err)))
+				return
+			}
+			if sleepCtx(ctx, k8sPollInterval) != nil {
+				pw.CloseWithError(fail(ctx.Err()))
+				return
+			}
+		}
+	}()
+	return pr, nil
+}
+
+// k8sMaxPollFailures is how many consecutive status-poll failures awaitJob
+// tolerates before declaring the attempt lost: one blip during an
+// hours-long sweep must not discard a healthy worker, but a persistently
+// failing poll (broken RBAC, dead apiserver) must not hold it forever.
+const k8sMaxPollFailures = 5
+
+func (c *kubectlClient) awaitJob(ctx context.Context, namespace, name string) error {
+	failures := 0
+	for {
+		out, err := c.run(ctx, namespace, nil, "get", "job", name, "-o", "json")
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// A Job that vanished mid-run (evicted, deleted out from under
+			// us) is a hard attempt failure, not something to poll through;
+			// a transient poll error is.
+			if strings.Contains(err.Error(), "NotFound") || strings.Contains(err.Error(), "not found") {
+				return err
+			}
+			if failures++; failures >= k8sMaxPollFailures {
+				return fmt.Errorf("job status poll failing persistently: %w", err)
+			}
+			if sleepCtx(ctx, k8sPollInterval) != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		failures = 0
+		terminal, jerr := jobTerminal(out)
+		if jerr != nil {
+			// Decorate the failure with the pod-level reason when one is
+			// visible — "OOMKilled" diagnoses, "BackoffLimitExceeded" only
+			// describes.
+			if pods, perr := c.run(ctx, namespace, nil, "get", "pods",
+				"--selector", "job-name="+name, "-o", "json"); perr == nil {
+				if reason := podFailureReason(pods); reason != "" {
+					return fmt.Errorf("%w (pod: %s)", jerr, reason)
+				}
+			}
+			return jerr
+		}
+		if terminal {
+			return nil
+		}
+		if sleepCtx(ctx, k8sPollInterval) != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+func (c *kubectlClient) deleteJobResources(ctx context.Context, namespace, jobName, configMapName string) error {
+	_, err := c.run(ctx, namespace, nil, "delete",
+		"job/"+jobName, "configmap/"+configMapName,
+		"--ignore-not-found", "--cascade=background", "--wait=false")
+	return err
+}
+
+// configMapManifest renders the spec ConfigMap. kubectl accepts JSON
+// manifests, so no YAML machinery is needed.
+func configMapManifest(namespace, name string, data map[string]string) ([]byte, error) {
+	m := map[string]any{
+		"apiVersion": "v1",
+		"kind":       "ConfigMap",
+		"metadata": map[string]any{
+			"name":      name,
+			"namespace": namespace,
+			"labels":    map[string]string{"app.kubernetes.io/name": "phirel"},
+		},
+		"data": data,
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: configmap manifest: %w", err)
+	}
+	return out, nil
+}
+
+// jobManifest renders the one Job shape the launcher runs: single pod,
+// single container, restartPolicy Never and backoffLimit 0 — the distrib
+// supervisor owns every retry, so the cluster must never relaunch a worker
+// behind its back.
+func jobManifest(j k8sJob) ([]byte, error) {
+	const specVolume = "phirel-spec"
+	spec := map[string]any{
+		"backoffLimit": 0,
+		"template": map[string]any{
+			"metadata": map[string]any{"labels": j.Labels},
+			"spec": map[string]any{
+				"restartPolicy": "Never",
+				"containers": []any{map[string]any{
+					"name":    "worker",
+					"image":   j.Image,
+					"command": j.Command,
+					"volumeMounts": []any{map[string]any{
+						"name":      specVolume,
+						"mountPath": SpecMountPath,
+						"readOnly":  true,
+					}},
+				}},
+				"volumes": []any{map[string]any{
+					"name":      specVolume,
+					"configMap": map[string]any{"name": j.ConfigMap},
+				}},
+			},
+		},
+	}
+	if j.TTLSeconds > 0 {
+		spec["ttlSecondsAfterFinished"] = j.TTLSeconds
+	}
+	if j.DeadlineSeconds > 0 {
+		spec["activeDeadlineSeconds"] = j.DeadlineSeconds
+	}
+	m := map[string]any{
+		"apiVersion": "batch/v1",
+		"kind":       "Job",
+		"metadata": map[string]any{
+			"name":      j.Name,
+			"namespace": j.Namespace,
+			"labels":    j.Labels,
+		},
+		"spec": spec,
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: job manifest: %w", err)
+	}
+	return out, nil
+}
+
+// jobTerminal interprets a `kubectl get job -o json` document: (true, nil)
+// for a completed Job, (false, nil) while it is still running, and a
+// non-nil error when the Job reached a terminal failure condition.
+func jobTerminal(data []byte) (bool, error) {
+	var job struct {
+		Status struct {
+			Conditions []struct {
+				Type    string `json:"type"`
+				Status  string `json:"status"`
+				Reason  string `json:"reason"`
+				Message string `json:"message"`
+			} `json:"conditions"`
+		} `json:"status"`
+	}
+	if err := json.Unmarshal(data, &job); err != nil {
+		return false, fmt.Errorf("distrib: parsing job status: %w", err)
+	}
+	for _, c := range job.Status.Conditions {
+		if c.Status != "True" {
+			continue
+		}
+		switch c.Type {
+		case "Complete", "SuccessCriteriaMet":
+			return true, nil
+		case "Failed", "FailureTarget":
+			msg := c.Reason
+			if c.Message != "" {
+				msg += ": " + c.Message
+			}
+			return false, fmt.Errorf("job failed: %s", msg)
+		}
+	}
+	return false, nil
+}
+
+// podFailureReason digs the most diagnostic container-level reason (e.g.
+// "OOMKilled", "CrashLoopBackOff", "Error") out of a `kubectl get pods -o
+// json` list for a failed Job; "" when nothing conclusive is recorded.
+func podFailureReason(data []byte) string {
+	var list struct {
+		Items []struct {
+			Status struct {
+				ContainerStatuses []struct {
+					State struct {
+						Terminated *struct {
+							Reason string `json:"reason"`
+						} `json:"terminated"`
+						Waiting *struct {
+							Reason string `json:"reason"`
+						} `json:"waiting"`
+					} `json:"state"`
+					LastState struct {
+						Terminated *struct {
+							Reason string `json:"reason"`
+						} `json:"terminated"`
+					} `json:"lastState"`
+				} `json:"containerStatuses"`
+			} `json:"status"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		return ""
+	}
+	for _, pod := range list.Items {
+		for _, cs := range pod.Status.ContainerStatuses {
+			switch {
+			case cs.State.Terminated != nil && cs.State.Terminated.Reason != "":
+				return cs.State.Terminated.Reason
+			case cs.LastState.Terminated != nil && cs.LastState.Terminated.Reason != "":
+				return cs.LastState.Terminated.Reason
+			case cs.State.Waiting != nil && cs.State.Waiting.Reason != "":
+				return cs.State.Waiting.Reason
+			}
+		}
+	}
+	return ""
+}

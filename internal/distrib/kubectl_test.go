@@ -1,0 +1,261 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJobManifestShape locks the cluster-facing contract: one pod, one
+// container, restartPolicy Never, backoffLimit 0 (the distrib supervisor
+// owns every retry), the spec ConfigMap mounted read-only at SpecMountPath,
+// and the TTL applied only when requested.
+func TestJobManifestShape(t *testing.T) {
+	job := k8sJob{
+		Name:       "phirel-shard-1-of-3-r0",
+		Namespace:  "phirel",
+		Image:      "ghcr.io/phirel/phi-bench:test",
+		Command:    k8sWorkerArgs("phi-bench", Task{Shard: 0, Count: 3}),
+		ConfigMap:  "phirel-shard-1-of-3-r0-spec",
+		TTLSeconds: 3600,
+		Labels:     map[string]string{"phirel.dev/shard": "1-of-3"},
+	}
+	raw, err := jobManifest(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		APIVersion string `json:"apiVersion"`
+		Kind       string `json:"kind"`
+		Metadata   struct {
+			Name      string            `json:"name"`
+			Namespace string            `json:"namespace"`
+			Labels    map[string]string `json:"labels"`
+		} `json:"metadata"`
+		Spec struct {
+			BackoffLimit *int `json:"backoffLimit"`
+			TTL          int  `json:"ttlSecondsAfterFinished"`
+			Template     struct {
+				Spec struct {
+					RestartPolicy string `json:"restartPolicy"`
+					Containers    []struct {
+						Image        string   `json:"image"`
+						Command      []string `json:"command"`
+						VolumeMounts []struct {
+							Name      string `json:"name"`
+							MountPath string `json:"mountPath"`
+							ReadOnly  bool   `json:"readOnly"`
+						} `json:"volumeMounts"`
+					} `json:"containers"`
+					Volumes []struct {
+						Name      string `json:"name"`
+						ConfigMap struct {
+							Name string `json:"name"`
+						} `json:"configMap"`
+					} `json:"volumes"`
+				} `json:"spec"`
+			} `json:"template"`
+		} `json:"spec"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("job manifest is not valid JSON: %v", err)
+	}
+	if m.APIVersion != "batch/v1" || m.Kind != "Job" {
+		t.Fatalf("manifest kind %s/%s", m.APIVersion, m.Kind)
+	}
+	if m.Metadata.Name != job.Name || m.Metadata.Namespace != "phirel" {
+		t.Fatalf("metadata off: %+v", m.Metadata)
+	}
+	if m.Spec.BackoffLimit == nil || *m.Spec.BackoffLimit != 0 {
+		t.Fatal("backoffLimit not pinned to 0: a cluster-side retry would run behind the supervisor's back")
+	}
+	if m.Spec.TTL != 3600 {
+		t.Fatalf("ttlSecondsAfterFinished %d, want 3600", m.Spec.TTL)
+	}
+	pod := m.Spec.Template.Spec
+	if pod.RestartPolicy != "Never" {
+		t.Fatalf("restartPolicy %q, want Never", pod.RestartPolicy)
+	}
+	if len(pod.Containers) != 1 || len(pod.Volumes) != 1 {
+		t.Fatalf("want exactly one container and one volume: %+v", pod)
+	}
+	c := pod.Containers[0]
+	if c.Image != job.Image {
+		t.Fatalf("container image %q", c.Image)
+	}
+	if len(c.VolumeMounts) != 1 || c.VolumeMounts[0].MountPath != SpecMountPath || !c.VolumeMounts[0].ReadOnly {
+		t.Fatalf("spec mount off: %+v", c.VolumeMounts)
+	}
+	if pod.Volumes[0].ConfigMap.Name != job.ConfigMap {
+		t.Fatalf("volume configmap %q, want %q", pod.Volumes[0].ConfigMap.Name, job.ConfigMap)
+	}
+	args := strings.Join(c.Command, " ")
+	for _, want := range []string{"-sweep", "-spec " + SpecMountPath + "/" + SpecFileName, "-shard 1/3", "-progress-jsonl", "-frame-out", "-out -"} {
+		if !strings.Contains(args, want) {
+			t.Fatalf("worker argv %q misses %q", args, want)
+		}
+	}
+
+	// Without a TTL request, the field must be absent (0 would delete the
+	// Job the instant it finishes, racing the partial read-back); same for
+	// the attempt deadline (0 would kill the pod at creation).
+	job.TTLSeconds = 0
+	raw, err = jobManifest(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "ttlSecondsAfterFinished") {
+		t.Fatal("zero TTL serialised instead of omitted")
+	}
+	if strings.Contains(string(raw), "activeDeadlineSeconds") {
+		t.Fatal("zero deadline serialised instead of omitted")
+	}
+	job.DeadlineSeconds = 90
+	raw, err = jobManifest(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"activeDeadlineSeconds":90`) {
+		t.Fatalf("attempt deadline not serialised: %s", raw)
+	}
+}
+
+func TestConfigMapManifestShape(t *testing.T) {
+	raw, err := configMapManifest("phirel", "run-spec", map[string]string{SpecFileName: `{"n": 5}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		APIVersion string `json:"apiVersion"`
+		Kind       string `json:"kind"`
+		Metadata   struct {
+			Name      string `json:"name"`
+			Namespace string `json:"namespace"`
+		} `json:"metadata"`
+		Data map[string]string `json:"data"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("configmap manifest is not valid JSON: %v", err)
+	}
+	if m.APIVersion != "v1" || m.Kind != "ConfigMap" {
+		t.Fatalf("manifest kind %s/%s", m.APIVersion, m.Kind)
+	}
+	if m.Metadata.Name != "run-spec" || m.Metadata.Namespace != "phirel" {
+		t.Fatalf("metadata off: %+v", m.Metadata)
+	}
+	if m.Data[SpecFileName] != `{"n": 5}` {
+		t.Fatalf("spec payload lost: %v", m.Data)
+	}
+}
+
+func TestJobTerminalParsing(t *testing.T) {
+	terminal, err := jobTerminal([]byte(`{"status":{"conditions":[{"type":"Complete","status":"True"}]}}`))
+	if !terminal || err != nil {
+		t.Fatalf("complete job: terminal=%v err=%v", terminal, err)
+	}
+	terminal, err = jobTerminal([]byte(`{"status":{"active":1}}`))
+	if terminal || err != nil {
+		t.Fatalf("running job: terminal=%v err=%v", terminal, err)
+	}
+	// A False condition is not a verdict.
+	terminal, err = jobTerminal([]byte(`{"status":{"conditions":[{"type":"Failed","status":"False"}]}}`))
+	if terminal || err != nil {
+		t.Fatalf("non-true condition: terminal=%v err=%v", terminal, err)
+	}
+	_, err = jobTerminal([]byte(`{"status":{"conditions":[{"type":"Failed","status":"True","reason":"BackoffLimitExceeded","message":"Job has reached the specified backoff limit"}]}}`))
+	if err == nil || !strings.Contains(err.Error(), "BackoffLimitExceeded") {
+		t.Fatalf("failed job: %v, want the failure reason", err)
+	}
+	if _, err := jobTerminal([]byte(`not json`)); err == nil {
+		t.Fatal("garbage job status accepted")
+	}
+}
+
+// fakeKubectl writes an executable script standing in for kubectl, driven
+// by an invocation counter so each call can behave differently.
+func fakeKubectl(t *testing.T, script string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kubectl")
+	body := "#!/bin/sh\ncount_file=" + dir + "/count\n" +
+		"n=$(cat \"$count_file\" 2>/dev/null || echo 0)\n" +
+		"echo $((n+1)) > \"$count_file\"\n" + script
+	if err := os.WriteFile(path, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFollowJobLogsRetriesOnlyUntilFirstByte: a follow that fails before
+// delivering anything (pod pending) is retried; a follow that breaks after
+// delivery must surface a stream error instead of restarting — kubectl
+// would replay the log from the beginning, re-feeding the frame scanner
+// content it already consumed.
+func TestFollowJobLogsRetriesOnlyUntilFirstByte(t *testing.T) {
+	skipInShort(t)
+	// First invocation: pod pending, exit 1 with no output. Second: logs.
+	pending := fakeKubectl(t, `if [ "$n" -eq 0 ]; then exit 1; fi
+echo "line-one"
+echo "line-two"
+exit 0
+`)
+	c := &kubectlClient{argv: []string{pending}}
+	rc, err := c.followJobLogs(context.Background(), "ns", "job-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatalf("pending-then-ready follow errored: %v", err)
+	}
+	if !strings.Contains(string(out), "line-one") || !strings.Contains(string(out), "line-two") {
+		t.Fatalf("follow lost the log content: %q", out)
+	}
+
+	// Delivers bytes, then dies: no restart, a mid-delivery stream error.
+	broken := fakeKubectl(t, `echo "partial-content"
+exit 1
+`)
+	c = &kubectlClient{argv: []string{broken}}
+	rc, err = c.followJobLogs(context.Background(), "ns", "job-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = io.ReadAll(rc)
+	rc.Close()
+	if err == nil || !strings.Contains(err.Error(), "interrupted mid-delivery") {
+		t.Fatalf("broken follow ended with %v, want a mid-delivery stream error", err)
+	}
+	if !strings.Contains(string(out), "partial-content") {
+		t.Fatalf("bytes delivered before the break were lost: %q", out)
+	}
+	if data, rerr := os.ReadFile(filepath.Dir(broken) + "/count"); rerr != nil || strings.TrimSpace(string(data)) != "1" {
+		t.Fatalf("broken follow was restarted (invocations: %s, %v); a restart would replay the log", data, rerr)
+	}
+}
+
+func TestPodFailureReasonParsing(t *testing.T) {
+	oom := `{"items":[{"status":{"containerStatuses":[{"state":{"terminated":{"reason":"OOMKilled","exitCode":137}}}]}}]}`
+	if got := podFailureReason([]byte(oom)); got != "OOMKilled" {
+		t.Fatalf("terminated reason %q, want OOMKilled", got)
+	}
+	crash := `{"items":[{"status":{"containerStatuses":[{"state":{"waiting":{"reason":"CrashLoopBackOff"}},"lastState":{}}]}}]}`
+	if got := podFailureReason([]byte(crash)); got != "CrashLoopBackOff" {
+		t.Fatalf("waiting reason %q, want CrashLoopBackOff", got)
+	}
+	last := `{"items":[{"status":{"containerStatuses":[{"state":{},"lastState":{"terminated":{"reason":"Error"}}}]}}]}`
+	if got := podFailureReason([]byte(last)); got != "Error" {
+		t.Fatalf("lastState reason %q, want Error", got)
+	}
+	if got := podFailureReason([]byte(`{"items":[]}`)); got != "" {
+		t.Fatalf("empty pod list produced reason %q", got)
+	}
+	if got := podFailureReason([]byte(`garbage`)); got != "" {
+		t.Fatalf("garbage pod list produced reason %q", got)
+	}
+}

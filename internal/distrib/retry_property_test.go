@@ -1,0 +1,103 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Property tests for the supervisor's retry/backoff discipline — the layer
+// where, per the checkpoint/restart literature, silent divergence creeps in:
+// a backoff that shrinks, overflows or overshoots its cap, or a relaunch
+// storm that burns more attempts than the budget allows, corrupts the
+// accounting every launcher backend relies on.
+
+// TestBackoffDelayProperties: for any base — zero, negative, sub-millisecond,
+// beyond the cap, even absurdly large — the delay sequence over retries is
+// strictly positive, monotone non-decreasing, bounded by maxBackoff, and
+// reaches exactly maxBackoff for deep retries (probing forever, never
+// sleeping the night away).
+func TestBackoffDelayProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1701))
+	bases := []time.Duration{
+		-time.Second, 0, 1, time.Nanosecond, time.Millisecond,
+		defaultBackoff, maxBackoff - 1, maxBackoff, maxBackoff + 1,
+		2 * maxBackoff, time.Duration(1 << 62),
+	}
+	for i := 0; i < 500; i++ {
+		bases = append(bases, time.Duration(rng.Int63n(int64(2*maxBackoff))))
+	}
+	for _, base := range bases {
+		prev := time.Duration(0)
+		for retry := 1; retry <= 64; retry++ {
+			d := backoffDelay(base, retry)
+			if d <= 0 {
+				t.Fatalf("base %s retry %d: non-positive delay %s", base, retry, d)
+			}
+			if d > maxBackoff {
+				t.Fatalf("base %s retry %d: delay %s exceeds the cap %s", base, retry, d, maxBackoff)
+			}
+			if d < prev {
+				t.Fatalf("base %s retry %d: delay %s shrank from %s", base, retry, d, prev)
+			}
+			prev = d
+		}
+		if d := backoffDelay(base, 64); d != maxBackoff {
+			t.Fatalf("base %s: deep retry settled at %s, want the cap %s", base, d, maxBackoff)
+		}
+	}
+}
+
+// TestRetryBudgetNeverExceededAcrossStorms: across randomized relaunch
+// storms — every attempt of every shard fails instantly — each shard is
+// launched exactly Retries+1 times, the observed attempt numbers are the
+// contiguous sequence 0..Retries with no repeats, and the failure report
+// counts every shard. Whatever the pool shape (width, concurrency cap), the
+// budget is exact: never exceeded, never short.
+func TestRetryBudgetNeverExceededAcrossStorms(t *testing.T) {
+	spec := testSweep()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 12; i++ {
+		shards := 1 + rng.Intn(4)
+		retries := rng.Intn(4)
+		maxConc := rng.Intn(shards + 1) // 0 = unbounded
+		var mu sync.Mutex
+		attempts := make(map[int][]int)
+		launcher := LauncherFunc(func(ctx context.Context, task Task, stderr io.Writer) error {
+			mu.Lock()
+			attempts[task.Shard] = append(attempts[task.Shard], task.Attempt)
+			mu.Unlock()
+			return errors.New("storm")
+		})
+		_, err := Run(context.Background(), spec, Options{
+			Shards: shards, Launcher: launcher, Dir: t.TempDir(),
+			Retries: retries, Backoff: time.Microsecond, MaxConcurrent: maxConc,
+		})
+		label := fmt.Sprintf("storm %d (K=%d retries=%d conc=%d)", i, shards, retries, maxConc)
+		if err == nil {
+			t.Fatalf("%s: all-failing fan-out succeeded", label)
+		}
+		if want := fmt.Sprintf("%d of %d shards failed permanently", shards, shards); !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: failure report misses %q: %v", label, want, err)
+		}
+		mu.Lock()
+		for k := 0; k < shards; k++ {
+			got := attempts[k]
+			if len(got) != retries+1 {
+				t.Fatalf("%s: shard %d launched %d times, want exactly %d", label, k, len(got), retries+1)
+			}
+			for n, a := range got {
+				if a != n {
+					t.Fatalf("%s: shard %d attempt sequence %v, want 0..%d in order", label, k, got, retries)
+				}
+			}
+		}
+		mu.Unlock()
+	}
+}

@@ -61,8 +61,27 @@ func inProcWorker(ctx context.Context, t Task, stderr io.Writer) error {
 	return res.WriteFile(t.OutPath)
 }
 
+// monoCache memoises the monolithic reference run per spec: most of the
+// fan-out tests (and every conformance fixture) compare against the same
+// monolithic artifact, and recomputing it per test dominates the race job's
+// wall clock. Entries are read-only after insertion.
+var monoCache sync.Map // spec JSON → monoEntry
+
+type monoEntry struct {
+	res  *fleet.SweepResult
+	json []byte
+}
+
 func monoArtifact(t *testing.T, spec fleet.Sweep) (*fleet.SweepResult, []byte) {
 	t.Helper()
+	var key strings.Builder
+	if err := spec.WriteSpec(&key); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := monoCache.Load(key.String()); ok {
+		ent := e.(monoEntry)
+		return ent.res, ent.json
+	}
 	mono, err := spec.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +90,7 @@ func monoArtifact(t *testing.T, spec fleet.Sweep) (*fleet.SweepResult, []byte) {
 	if err := mono.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
+	monoCache.Store(key.String(), monoEntry{res: mono, json: buf.Bytes()})
 	return mono, buf.Bytes()
 }
 

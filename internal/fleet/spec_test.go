@@ -29,6 +29,43 @@ func TestSweepSpecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSpecConfigMapRoundTrip: the string form a Kubernetes ConfigMap value
+// carries must round-trip the spec losslessly — same struct, same derived
+// grid, and byte-identical to the file form, so a ConfigMap-mounted worker
+// reads exactly the file a local shard worker would.
+func TestSpecConfigMapRoundTrip(t *testing.T) {
+	spec := beamSweep()
+	data, err := spec.SpecString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configMap := map[string]string{"sweep-spec.json": data} // the k8s transport's shape
+	back, err := ReadSpecString(configMap["sweep-spec.json"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("spec changed across the ConfigMap round-trip:\nwrote %+v\nread  %+v", spec, back)
+	}
+	if !reflect.DeepEqual(spec.Cells(), back.Cells()) || !reflect.DeepEqual(spec.BeamCells(), back.BeamCells()) {
+		t.Fatal("round-tripped spec derives a different grid")
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := spec.WriteSpecFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fileBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != string(fileBytes) {
+		t.Fatal("SpecString diverges from the WriteSpecFile bytes; the two transports would ship different specs")
+	}
+	if _, err := ReadSpecString(`{"nope": 1}`); err == nil {
+		t.Fatal("ReadSpecString accepted an unknown field")
+	}
+}
+
 func TestReadSpecRejectsNonSpecs(t *testing.T) {
 	dir := t.TempDir()
 	read := func(name, content string) error {
