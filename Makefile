@@ -4,14 +4,14 @@
 GO ?= go
 
 .PHONY: build test race vet fmt sweep bench-smoke shard shard-merge shard-demo \
-	worker-bin fleet-check fleet-demo nightly-sweep cover fuzz ci
+	worker-bin fleet-check fleet-demo nightly-sweep cover fuzz serve-check ci
 
 # The exact PR-gating sequence CI runs, as one local command. cover re-runs
-# internal/distrib + internal/fleet with coverage instrumentation (a
-# different build than test's, so the test cache cannot share them); CI
-# pays nothing — the jobs run in parallel — and locally it adds ~1 minute
-# to a multi-minute sequence.
-ci: fmt vet build test race bench-smoke cover fleet-demo
+# the covered packages with coverage instrumentation (a different build
+# than test's, so the test cache cannot share them); CI pays nothing — the
+# jobs run in parallel — and locally it adds ~1 minute to a multi-minute
+# sequence.
+ci: fmt vet build test race bench-smoke cover serve-check fleet-demo
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,9 @@ test:
 # ~100x, and the statistical-power campaigns add nothing to race coverage
 # (plain `make test` still runs everything at full size).
 race:
-	$(GO) test -race -short -timeout 15m -run 'Engine|Deterministic|Cancel|Stream|Progress|Sweep' \
+	$(GO) test -race -short -timeout 15m -run 'Engine|Deterministic|Cancel|Stream|Progress|Sweep|Scheduler|Serve' \
 		./internal/engine/... ./internal/core/... ./internal/beam/... ./internal/fleet/... \
-		./internal/distrib/...
+		./internal/distrib/... ./internal/serve/...
 
 # Runs every figure/ablation benchmark exactly once — a smoke test that the
 # experiment index still executes, so engine regressions surface in CI.
@@ -77,22 +77,26 @@ shard-demo:
 	$(MAKE) shard SHARD=3/3
 	$(MAKE) shard-merge
 
-# Coverage floors (percent of statements) for the two packages that gate
-# the correctness of merged artifacts: internal/distrib (supervision,
-# launchers, partial validation) and internal/fleet (sharding algebra,
-# merge validation, artifact readers). The floors sit below current
-# coverage (~77% / ~89%; the kubectl exec paths need a live cluster) so
-# they catch erosion, not noise. CI's cover job runs this and uploads the
-# HTML reports as artifacts.
+# Coverage floors (percent of statements) for the packages that gate the
+# correctness of merged artifacts and their serving: internal/distrib
+# (supervision, launchers, partial validation), internal/fleet (sharding
+# algebra, merge validation, artifact readers), and internal/serve (the
+# sweep service's cache/coalesce/streaming contract). The floors sit below
+# current coverage (~80% / ~89% / ~89%; the kubectl exec paths need a live
+# cluster) so they catch erosion, not noise. CI's cover job runs this and
+# uploads the HTML reports as artifacts.
 DISTRIB_COVER_FLOOR ?= 72
 FLEET_COVER_FLOOR ?= 85
+SERVE_COVER_FLOOR ?= 82
 
 cover:
 	$(GO) test -coverprofile=cover-distrib.out ./internal/distrib/
 	$(GO) test -coverprofile=cover-fleet.out ./internal/fleet/
+	$(GO) test -coverprofile=cover-serve.out ./internal/serve/
 	$(GO) tool cover -html=cover-distrib.out -o cover-distrib.html
 	$(GO) tool cover -html=cover-fleet.out -o cover-fleet.html
-	@for pf in cover-distrib.out:$(DISTRIB_COVER_FLOOR) cover-fleet.out:$(FLEET_COVER_FLOOR); do \
+	$(GO) tool cover -html=cover-serve.out -o cover-serve.html
+	@for pf in cover-distrib.out:$(DISTRIB_COVER_FLOOR) cover-fleet.out:$(FLEET_COVER_FLOOR) cover-serve.out:$(SERVE_COVER_FLOOR); do \
 		profile=$${pf%%:*}; floor=$${pf##*:}; \
 		total=$$($(GO) tool cover -func=$$profile | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 		if awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 < f+0) }'; then \
@@ -109,6 +113,15 @@ fuzz:
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzReadSpec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzReadJSON$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fleet/ -run '^$$' -fuzz '^FuzzReadShardFile$$' -fuzztime $(FUZZTIME)
+
+# Load-smokes the sweep service end to end through httptest: overlapping
+# submissions of duplicate specs against a live serve.Server must coalesce
+# and cache-hit (exactly one computation per distinct spec) and every
+# request for the same sweep id must return byte-identical artifact bytes.
+# -count=1 defeats the test cache so CI always exercises the live path.
+serve-check:
+	$(GO) test -count=1 -v -run 'TestServeLoadSmoke|TestServeCacheHitByteIdentical|TestServeCoalesce|TestServePersistentCache' \
+		./internal/serve/
 
 # Shard workers are exec'd as subprocesses, so the fleet targets build a
 # real phi-bench binary first instead of racing N concurrent `go run`

@@ -29,7 +29,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"phirel/internal/cli"
@@ -41,21 +40,15 @@ func main() {
 	grid.Register(flag.CommandLine, "")
 	var k8s cli.K8sFlags
 	k8s.Register(flag.CommandLine)
+	var fleetFlags cli.FleetFlags
+	fleetFlags.Register(flag.CommandLine)
+	var worker cli.WorkerFlags
+	worker.Register(flag.CommandLine)
 	var (
-		shards  = flag.Int("shards", 3, "fan-out width K: how many shard workers to launch")
 		specArg = flag.String("spec", "", "read the sweep spec from this fleet spec JSON file ('-' = stdin) instead of the grid flags")
 		out     = flag.String("out", "sweep.json", "write the merged SweepResult JSON here ('-' = stdout)")
 		dir     = flag.String("dir", "", "working directory for the spec file and shard partials (default: a temp dir, removed unless -keep-partials)")
 		keep    = flag.Bool("keep-partials", false, "keep the shard partials and spec file after a successful merge")
-
-		workerCmd = flag.String("worker-cmd", "", "local worker command, space-separated (default: phi-bench next to this executable, else from PATH)")
-		sshHosts  = flag.String("ssh", "", "comma-separated ssh hosts; shards round-robin over them instead of running locally")
-		sshBin    = flag.String("ssh-bin", "phi-bench", "phi-bench executable on the remote hosts")
-
-		timeout = flag.Duration("timeout", 0, "per-attempt shard timeout (0 = none)")
-		retries = flag.Int("retries", 1, "relaunches per crashed/timed-out/corrupt-output shard beyond its first attempt")
-		backoff = flag.Duration("backoff", time.Second, "delay before a shard's first retry (doubles per retry)")
-		maxConc = flag.Int("max-concurrent", 0, "max shards in flight at once (0 = all)")
 		quiet   = flag.Bool("quiet", false, "suppress progress and supervisor lifecycle lines on stderr")
 	)
 	flag.Parse()
@@ -86,20 +79,15 @@ func main() {
 		fatal(err)
 	}
 	if launch == nil {
-		launch = launcher(*sshHosts, *sshBin, *workerCmd)
+		launch = worker.Launcher()
 	}
-	opts := distrib.Options{
-		Shards:        *shards,
-		Launcher:      launch,
-		Dir:           workdir,
-		Timeout:       *timeout,
-		Retries:       *retries,
-		Backoff:       *backoff,
-		MaxConcurrent: *maxConc,
+	opts, err := fleetFlags.Options(launch, workdir)
+	if err != nil {
+		fatal(err)
 	}
 	if !*quiet {
 		opts.Progress = func(p distrib.Progress) {
-			fmt.Fprintf(os.Stderr, "phi-fleet: %d/%d cells done across %d shards\n", p.Done, p.Total, *shards)
+			fmt.Fprintf(os.Stderr, "phi-fleet: %d/%d cells done across %d shards\n", p.Done, p.Total, opts.Shards)
 		}
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "phi-fleet: "+format+"\n", args...)
@@ -118,7 +106,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "phi-fleet: %d shards merged into %d injection + %d beam cells in %s\n",
-		*shards, len(merged.Cells), len(merged.BeamCells), time.Since(start).Round(time.Millisecond))
+		opts.Shards, len(merged.Cells), len(merged.BeamCells), time.Since(start).Round(time.Millisecond))
 
 	if *out == "-" {
 		err = merged.WriteJSON(os.Stdout)
@@ -139,25 +127,6 @@ func main() {
 	} else if ownDir {
 		os.RemoveAll(workdir)
 	}
-}
-
-// launcher picks the worker transport: ssh hosts when given, else a local
-// subprocess of the explicit -worker-cmd, else a phi-bench discovered next
-// to this executable or on PATH.
-func launcher(sshHosts, sshBin, workerCmd string) distrib.Launcher {
-	if sshHosts != "" {
-		return distrib.SSHLauncher{Hosts: strings.Split(sshHosts, ","), Bin: sshBin}
-	}
-	if workerCmd != "" {
-		return distrib.ExecLauncher{Command: strings.Fields(workerCmd)}
-	}
-	if exe, err := os.Executable(); err == nil {
-		sibling := filepath.Join(filepath.Dir(exe), "phi-bench")
-		if info, err := os.Stat(sibling); err == nil && !info.IsDir() {
-			return distrib.ExecLauncher{Command: []string{sibling}}
-		}
-	}
-	return distrib.ExecLauncher{Command: []string{"phi-bench"}}
 }
 
 func fatal(err error) {

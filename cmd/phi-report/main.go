@@ -8,6 +8,7 @@
 // Usage:
 //
 //	phi-report -in logs.jsonl [-csv]
+//	phi-report -in - [-csv]   # read the JSONL log from stdin
 //	phi-report -sweep sweep.json [-csv]
 package main
 
@@ -17,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"phirel/internal/cli"
 	"phirel/internal/core"
 	"phirel/internal/fault"
 	"phirel/internal/figures"
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "JSONL log written by carol-fi -out")
+		in    = flag.String("in", "", "JSONL log written by carol-fi -out ('-' = stdin)")
 		sweep = flag.String("sweep", "", "SweepResult JSON written by phi-bench -sweep -out")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
@@ -40,7 +42,7 @@ func main() {
 	if *in == "" {
 		fatal(fmt.Errorf("missing -in (or -sweep)"))
 	}
-	f, err := os.Open(*in)
+	f, name, err := cli.OpenInput(*in, os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
@@ -50,7 +52,7 @@ func main() {
 		fatal(err)
 	}
 	if len(records) == 0 {
-		fatal(fmt.Errorf("no records in %s", *in))
+		fatal(fmt.Errorf("no records in %s", name))
 	}
 
 	// Group by benchmark and rebuild the aggregates.
@@ -192,57 +194,21 @@ func renderSweep(path string, csv bool) {
 			fmt.Println(t)
 		}
 	}
-	// A multi-policy sweep is an ablation: render each arm separately
-	// instead of conflating them into one set of figures.
-	policies := sr.Spec.Policies
-	if len(policies) == 0 { // hand-built artifact without a normalised spec
-		seen := map[state.Policy]bool{}
-		for _, c := range sr.Cells {
-			if !seen[c.Policy] {
-				seen[c.Policy] = true
-				policies = append(policies, c.Policy)
-			}
-		}
+	// figures.SweepGroups is the one definition of what a sweep renders as
+	// (shared with the phi-serve figures endpoint); each group is one
+	// ablation arm, bannered only when its kind has siblings to tell apart.
+	groups := figures.SweepGroups(sr)
+	perKind := map[string]int{}
+	for _, g := range groups {
+		perKind[g.Kind]++
 	}
-	for _, policy := range policies {
-		merged := sr.MergedFor(policy)
-		if len(merged) == 0 {
-			continue
+	for _, g := range groups {
+		if perKind[g.Kind] > 1 {
+			fmt.Printf("== %s ==\n\n", g.Label)
 		}
-		if len(policies) > 1 {
-			fmt.Printf("== policy: %s ==\n\n", policy)
+		for _, t := range g.Tables {
+			emit(t)
 		}
-		emit(figures.Figure4(merged))
-		emit(figures.Figure5(merged, false))
-		emit(figures.Figure5(merged, true))
-		emit(figures.Figure6(merged, false))
-		emit(figures.Figure6(merged, true))
-		names := make([]string, 0, len(merged))
-		for n := range merged {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			emit(figures.Table1(merged[n], 20))
-		}
-	}
-	// Beam cells render per (device, ECC) ablation arm.
-	arms := sr.BeamArms()
-	for _, arm := range arms {
-		results := sr.BeamFor(arm.Device, arm.DisableECC)
-		if len(results) == 0 {
-			continue
-		}
-		if len(arms) > 1 {
-			ecc := "on"
-			if arm.DisableECC {
-				ecc = "off"
-			}
-			fmt.Printf("== beam arm: %s, ECC %s ==\n\n", arm.Device, ecc)
-		}
-		emit(figures.Figure2(results))
-		emit(figures.Figure3(results))
-		emit(figures.Table2(results))
 	}
 }
 

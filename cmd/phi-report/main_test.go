@@ -3,8 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
-	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	_ "phirel/internal/bench/all"
+	"phirel/internal/core"
 	"phirel/internal/fault"
 	"phirel/internal/fleet"
 )
@@ -29,20 +30,29 @@ func TestMain(m *testing.M) {
 
 func runReport(t *testing.T, args ...string) (int, string) {
 	t.Helper()
+	code, _, stderr := runReportIO(t, "", args...)
+	return code, stderr
+}
+
+// runReportIO re-execs phi-report with stdin wired up — the transport the
+// '-in -' convention reads from — and captures both output streams.
+func runReportIO(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "PHIREL_BE_PHI_REPORT=1")
-	cmd.Stdout = io.Discard
-	var stderr bytes.Buffer
+	cmd.Stdin = strings.NewReader(stdin)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	err := cmd.Run()
 	if err == nil {
-		return 0, stderr.String()
+		return 0, stdout.String(), stderr.String()
 	}
 	var ee *exec.ExitError
 	if !errors.As(err, &ee) {
 		t.Fatalf("re-exec failed before main ran: %v", err)
 	}
-	return ee.ExitCode(), stderr.String()
+	return ee.ExitCode(), stdout.String(), stderr.String()
 }
 
 func expectReportFailure(t *testing.T, needle string, args ...string) {
@@ -103,4 +113,51 @@ func TestReportLogEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	expectReportFailure(t, "no records", "-in", path)
+}
+
+// TestReportLogStdinEmpty: '-in -' reads stdin, so the empty-input error
+// must name stdin, not a file called "-".
+func TestReportLogStdinEmpty(t *testing.T) {
+	code, _, stderr := runReportIO(t, "", "-in", "-")
+	if code == 0 {
+		t.Fatal("phi-report -in - with empty stdin exited 0, want failure")
+	}
+	if !strings.Contains(stderr, "no records in stdin") {
+		t.Fatalf("stderr misses %q:\n%s", "no records in stdin", stderr)
+	}
+}
+
+func TestReportLogStdinGarbage(t *testing.T) {
+	code, _, stderr := runReportIO(t, "this is not a JSONL log\n", "-in", "-")
+	if code == 0 {
+		t.Fatal("phi-report -in - with garbage stdin exited 0, want failure")
+	}
+	if stderr == "" {
+		t.Fatal("no error reported for garbage stdin")
+	}
+}
+
+// TestReportLogStdin: a piped JSONL log renders the same tables as a file
+// input — the streaming form of the parser path.
+func TestReportLogStdin(t *testing.T) {
+	var log bytes.Buffer
+	enc := json.NewEncoder(&log)
+	for seq, outcome := range []string{"masked", "sdc", "masked"} {
+		rec := core.InjectionRecord{
+			Seq: seq, Benchmark: "DGEMM", Model: "single", Outcome: outcome,
+			Region: "input", Elem: -1, Fired: true,
+		}
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, stdout, stderr := runReportIO(t, log.String(), "-in", "-")
+	if code != 0 {
+		t.Fatalf("phi-report -in - exited %d:\n%s", code, stderr)
+	}
+	for _, needle := range []string{"Figure 4", "DGEMM"} {
+		if !strings.Contains(stdout, needle) {
+			t.Fatalf("stdout misses %q:\n%s", needle, stdout)
+		}
+	}
 }

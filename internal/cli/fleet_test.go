@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"phirel/internal/distrib"
+)
+
+func parseFleet(t *testing.T, args ...string) (*FleetFlags, *WorkerFlags) {
+	t.Helper()
+	var f FleetFlags
+	var w WorkerFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	w.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &f, &w
+}
+
+// TestFleetFlagsDefaultsMatchScheduler: the flag defaults ARE
+// distrib.Defaults — phi-fleet, phi-serve, and the scheduler cannot
+// disagree on the baseline fan-out config.
+func TestFleetFlagsDefaultsMatchScheduler(t *testing.T) {
+	f, _ := parseFleet(t)
+	d := distrib.Defaults()
+	if f.Shards != d.Shards || f.Timeout != d.Timeout || f.Retries != d.Retries ||
+		f.Backoff != d.Backoff || f.MaxConcurrent != d.MaxConcurrent {
+		t.Fatalf("flag defaults %+v diverge from distrib.Defaults %+v", f, d)
+	}
+}
+
+func TestFleetFlagsOptionsAssembly(t *testing.T) {
+	f, w := parseFleet(t, "-shards", "5", "-timeout", "90s", "-retries", "2",
+		"-backoff", "3s", "-max-concurrent", "4", "-worker-cmd", "bin/phi-bench -quiet")
+	opts, err := f.Options(w.Launcher(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Shards != 5 || opts.Retries != 2 || opts.MaxConcurrent != 4 {
+		t.Fatalf("options wired as %+v", opts)
+	}
+	exec, ok := opts.Launcher.(distrib.ExecLauncher)
+	if !ok || !reflect.DeepEqual(exec.Command, []string{"bin/phi-bench", "-quiet"}) {
+		t.Fatalf("launcher %+v", opts.Launcher)
+	}
+
+	// Validation runs inside assembly: an incoherent flag set never
+	// reaches a scheduler.
+	bad, _ := parseFleet(t, "-shards", "0")
+	if _, err := bad.Options(w.Launcher(), t.TempDir()); err == nil {
+		t.Fatal("shards=0 assembled into Options without error")
+	}
+	if _, err := f.Options(nil, t.TempDir()); err == nil {
+		t.Fatal("nil launcher assembled into Options without error")
+	}
+}
+
+func TestWorkerFlagsSSHWinsOverExec(t *testing.T) {
+	_, w := parseFleet(t, "-ssh", "a,b", "-ssh-bin", "/opt/phi-bench", "-worker-cmd", "ignored")
+	ssh, ok := w.Launcher().(distrib.SSHLauncher)
+	if !ok {
+		t.Fatalf("launcher %T, want SSHLauncher", w.Launcher())
+	}
+	if !reflect.DeepEqual(ssh.Hosts, []string{"a", "b"}) || ssh.Bin != "/opt/phi-bench" {
+		t.Fatalf("ssh launcher %+v", ssh)
+	}
+}
+
+// TestOpenInput: the "-" convention reads stdin under the name "stdin"
+// with a no-op Close; files open (and fail to open) under their own name.
+func TestOpenInput(t *testing.T) {
+	r, name, err := OpenInput("-", strings.NewReader("piped"))
+	if err != nil || name != "stdin" {
+		t.Fatalf("stdin form: %q, %v", name, err)
+	}
+	data, _ := io.ReadAll(r)
+	if string(data) != "piped" {
+		t.Fatalf("stdin content %q", data)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("stdin Close: %v", err)
+	}
+
+	_, name, err = OpenInput("/nonexistent/input.jsonl", nil)
+	if err == nil {
+		t.Fatal("missing file opened")
+	}
+	if name != "/nonexistent/input.jsonl" {
+		t.Fatalf("error name %q, want the path", name)
+	}
+}

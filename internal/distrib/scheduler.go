@@ -1,0 +1,483 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"phirel/internal/fleet"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	// JobQueued: submitted, no shard has been granted a budget slot yet.
+	JobQueued JobState = "queued"
+	// JobRunning: at least one shard worker has started.
+	JobRunning JobState = "running"
+	// JobDone: every shard landed and the partials merged.
+	JobDone JobState = "done"
+	// JobFailed: at least one shard failed permanently (or the merge did).
+	JobFailed JobState = "failed"
+	// JobCancelled: the job was cancelled before it could finish.
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	// ID is the scheduler-assigned job identity.
+	ID string `json:"id"`
+	// State is the lifecycle position at snapshot time.
+	State JobState `json:"state"`
+	// Done and Total count grid cells across the job's whole fan-out
+	// (Total is K times the sweep's cell count, like Progress samples).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Err carries the failure text of a JobFailed job.
+	Err string `json:"error,omitempty"`
+}
+
+// Job is one submitted sweep under a Scheduler: a handle for waiting,
+// cancelling, and observing progress without disturbing sibling jobs.
+type Job struct {
+	id     string
+	dir    string
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   JobState
+	done    int
+	total   int
+	err     error
+	result  *fleet.SweepResult
+	subs    map[int]chan Progress
+	nextSub int
+
+	finished chan struct{}
+}
+
+// ID returns the scheduler-assigned job identity.
+func (j *Job) ID() string { return j.id }
+
+// Dir returns the job's working directory — where its spec file and shard
+// partials live (the evidence trail of a failed job).
+func (j *Job) Dir() string { return j.dir }
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total}
+	if j.err != nil && j.state == JobFailed {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// Cancel stops the job: queued shards never launch, running workers are
+// killed. Sibling jobs are untouched — each job supervises its shards
+// under its own context. Cancelling a finished job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.finished }
+
+// Wait blocks until the job finishes or ctx ends. A finished job returns
+// its merged result or its permanent error; cancellation — of the job or
+// of ctx — surfaces as the respective context error.
+func (j *Job) Wait(ctx context.Context) (*fleet.SweepResult, error) {
+	select {
+	case <-j.finished:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return j.Result()
+}
+
+// Result returns a terminal job's outcome without blocking; an unfinished
+// job reports itself as such.
+func (j *Job) Result() (*fleet.SweepResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobDone:
+		return j.result, nil
+	case JobFailed:
+		return nil, j.err
+	case JobCancelled:
+		return nil, context.Canceled
+	}
+	return nil, fmt.Errorf("distrib: job %s has not finished", j.id)
+}
+
+// Subscribe registers a progress listener: a channel of aggregated
+// job-wide samples, closed when the job finishes. Slow listeners never
+// block the supervisor — when a subscriber's buffer is full the oldest
+// sample is dropped, so a reader always converges on the latest state.
+// The returned stop function unregisters (idempotent, safe after close).
+func (j *Job) Subscribe() (<-chan Progress, func()) {
+	ch := make(chan Progress, 16)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// emit is the job's progress sink: it folds the sample into the status
+// snapshot and fans it out to subscribers (latest-wins on a full buffer).
+// Called with the progress mux lock held, so delivery is serialised.
+func (j *Job) emit(p Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done, j.total = p.Done, p.Total
+	for _, ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+			select { // drop the oldest sample, then retry once
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+}
+
+// markRunning flips a queued job to running when its first shard starts.
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobQueued {
+		j.state = JobRunning
+	}
+}
+
+// finish records the terminal state and releases waiters and subscribers.
+func (j *Job) finish(state JobState, res *fleet.SweepResult, err error) {
+	j.mu.Lock()
+	j.state, j.result, j.err = state, res, err
+	for id, ch := range j.subs {
+		delete(j.subs, id)
+		close(ch)
+	}
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// Scheduler is the resident form of the fan-out supervisor: jobs are
+// submitted as sweeps, queued onto one shared concurrency budget
+// (Options.MaxConcurrent shards in flight across every job, granted in
+// strict submission order), supervised exactly like a one-shot Run —
+// per-attempt timeouts, bounded retry with backoff, partial validation,
+// stderr-tail evidence — and finished as merged SweepResults. Each job is
+// independently cancellable; cancelling one never disturbs another. Run
+// is a thin submit-then-wait wrapper over a single-job Scheduler, so both
+// surfaces share one supervision path.
+type Scheduler struct {
+	opts   Options
+	budget *budget
+	ctx    context.Context
+	stop   context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler validates opts and returns a resident scheduler ready for
+// Submit. The caller owns Options.Dir (created if missing) and must Close
+// the scheduler to stop its jobs.
+func NewScheduler(opts Options) (*Scheduler, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	return &Scheduler{
+		opts:   opts,
+		budget: newBudget(opts.MaxConcurrent),
+		ctx:    ctx,
+		stop:   stop,
+		jobs:   map[string]*Job{},
+	}, nil
+}
+
+// Submit queues spec as a new job in its own subdirectory of Options.Dir
+// and returns immediately; the job runs as budget slots free up. The spec
+// must plan cleanly at the scheduler's shard width.
+func (s *Scheduler) Submit(spec fleet.Sweep) (*Job, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("distrib: scheduler is closed")
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%d", s.seq)
+	s.mu.Unlock()
+	dir := filepath.Join(s.opts.Dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	return s.submit(spec, id, dir, id+": ")
+}
+
+// submit plans the job in dir and starts it. logPrefix decorates Logf
+// lines so interleaved jobs stay attributable; Run passes "" to keep the
+// one-shot log format unchanged.
+func (s *Scheduler) submit(spec fleet.Sweep, id, dir, logPrefix string) (*Job, error) {
+	tasks, err := Plan(dir, spec, s.opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cellsPerShard := len(spec.Cells()) + len(spec.BeamCells())
+	jctx, jcancel := context.WithCancel(s.ctx)
+	job := &Job{
+		id:       id,
+		dir:      dir,
+		cancel:   jcancel,
+		state:    JobQueued,
+		total:    cellsPerShard * s.opts.Shards,
+		subs:     map[int]chan Progress{},
+		finished: make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jcancel()
+		return nil, errors.New("distrib: scheduler is closed")
+	}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	// Tickets are enqueued here, in shard order, while still serialised
+	// with other Submits: the shared budget is strictly FIFO across jobs,
+	// so under a 1-slot budget job N+1 can never overtake job N.
+	tickets := make([]*ticket, len(tasks))
+	for k := range tickets {
+		tickets[k] = s.budget.enqueue()
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runJob(jctx, job, spec, tasks, tickets, logPrefix)
+	return job, nil
+}
+
+// runJob supervises one job's fan-out to a terminal state.
+func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tasks []Task, tickets []*ticket, logPrefix string) {
+	defer s.wg.Done()
+	opts := s.opts
+	if logPrefix != "" && opts.Logf != nil {
+		inner := opts.Logf
+		opts.Logf = func(format string, args ...any) {
+			inner(logPrefix+format, args...)
+		}
+	}
+	sink := job.emit
+	if opts.Progress != nil {
+		outer := opts.Progress
+		sink = func(p Progress) {
+			job.emit(p)
+			outer(p)
+		}
+	}
+	cellsPerShard := len(spec.Cells()) + len(spec.BeamCells())
+	mux := newProgressMux(opts.Shards, cellsPerShard, sink)
+
+	var wg sync.WaitGroup
+	failures := make([]*shardError, len(tasks))
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(t Task, tk *ticket) {
+			defer wg.Done()
+			if s.budget.wait(jctx, tk) != nil {
+				return // job (or scheduler) cancelled while queued
+			}
+			defer s.budget.release()
+			job.markRunning()
+			failures[t.Shard] = superviseShard(jctx, t, opts, mux)
+		}(t, tickets[i])
+	}
+	wg.Wait()
+
+	var msgs []string
+	for _, f := range failures {
+		if f != nil {
+			msgs = append(msgs, f.Error())
+		}
+	}
+	switch {
+	case len(msgs) > 0:
+		job.finish(JobFailed, nil, fmt.Errorf("distrib: %d of %d shards failed permanently:\n%s",
+			len(msgs), opts.Shards, strings.Join(msgs, "\n")))
+	case jctx.Err() != nil:
+		job.finish(JobCancelled, nil, context.Canceled)
+	default:
+		paths := make([]string, len(tasks))
+		for i, t := range tasks {
+			paths[i] = t.OutPath
+		}
+		merged, err := fleet.MergeFiles(paths...)
+		if err != nil {
+			job.finish(JobFailed, nil, fmt.Errorf("distrib: folding shard partials: %w", err))
+			return
+		}
+		job.finish(JobDone, merged, nil)
+	}
+}
+
+// Options returns a copy of the scheduler's validated config (hooks
+// included) — what a layer above needs to describe the fan-out it is
+// submitting into, e.g. the shard width of progress events.
+func (s *Scheduler) Options() Options { return s.opts }
+
+// Job returns the job with the given ID, if it exists.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Close cancels every job, refuses further submissions, and waits for the
+// supervision goroutines to drain.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// ticket is one queued claim on the shared budget. It is granted (ch
+// closed) either immediately at enqueue or later by a release, in strict
+// enqueue order; a waiter that gives up marks it abandoned so release
+// skips it.
+type ticket struct {
+	ch        chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+// budget is the scheduler-wide shard-slot pool: at most `slots` workers in
+// flight across every job, granted strictly FIFO. A zero/negative slot
+// count means unlimited.
+type budget struct {
+	mu        sync.Mutex
+	unlimited bool
+	free      int
+	queue     []*ticket
+}
+
+func newBudget(slots int) *budget {
+	if slots <= 0 {
+		return &budget{unlimited: true}
+	}
+	return &budget{free: slots}
+}
+
+// enqueue claims a slot if one is free, else joins the FIFO queue.
+func (b *budget) enqueue() *ticket {
+	t := &ticket{ch: make(chan struct{})}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.unlimited || b.free > 0 {
+		if !b.unlimited {
+			b.free--
+		}
+		t.granted = true
+		close(t.ch)
+		return t
+	}
+	b.queue = append(b.queue, t)
+	return t
+}
+
+// wait blocks until t is granted or ctx ends. On cancellation a ticket
+// granted in the race is returned to the pool, and a still-queued one is
+// abandoned in place.
+func (b *budget) wait(ctx context.Context, t *ticket) error {
+	select {
+	case <-t.ch:
+		return nil
+	case <-ctx.Done():
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.granted {
+		b.releaseLocked()
+	} else {
+		t.abandoned = true
+	}
+	return ctx.Err()
+}
+
+// release returns a slot: the oldest live waiter gets it directly, else it
+// goes back to the free pool.
+func (b *budget) release() {
+	if b.unlimited {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.releaseLocked()
+}
+
+func (b *budget) releaseLocked() {
+	if b.unlimited {
+		return
+	}
+	for len(b.queue) > 0 {
+		t := b.queue[0]
+		b.queue = b.queue[1:]
+		if t.abandoned {
+			continue
+		}
+		t.granted = true
+		close(t.ch)
+		return
+	}
+	b.free++
+}

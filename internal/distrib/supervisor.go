@@ -6,40 +6,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"sync"
-	"time"
 
 	"phirel/internal/fleet"
 )
-
-// Options tunes a fan-out Run.
-type Options struct {
-	// Shards is the fan-out width K (required, >= 1).
-	Shards int
-	// Launcher starts shard workers (required): ExecLauncher for local
-	// subprocesses, SSHLauncher for remote hosts, LauncherFunc for
-	// in-process workers.
-	Launcher Launcher
-	// Dir is the working directory for the shared spec file and the shard
-	// partials (required; the caller owns creation and cleanup).
-	Dir string
-	// Timeout bounds every attempt of every shard; 0 means no limit.
-	Timeout time.Duration
-	// Retries is how many times a crashed, timed-out or corrupt-output
-	// shard is relaunched beyond its first attempt.
-	Retries int
-	// Backoff is the delay before a shard's first retry, doubling per
-	// retry (default 500ms, capped at 1m).
-	Backoff time.Duration
-	// MaxConcurrent caps shards in flight at once (0 = all at once).
-	MaxConcurrent int
-	// Progress, when non-nil, receives aggregated fan-out-wide samples as
-	// workers report. Calls are serialised.
-	Progress func(Progress)
-	// Logf, when non-nil, receives supervisor lifecycle lines: launches,
-	// retries, validated partials, failures.
-	Logf func(format string, args ...any)
-}
 
 // tailBytes bounds the per-shard stderr tail kept for failure reports.
 const tailBytes = 4 << 10
@@ -67,71 +36,37 @@ func (e *shardError) Error() string {
 // the retry budget); when any shard fails permanently the returned error
 // lists every failed shard with its stderr tail, so one flaky host never
 // hides another's diagnosis. Cancelling ctx stops all workers.
+//
+// Run is the one-shot compatibility form of the resident Scheduler:
+// submit one job, wait for it. The spec file and shard partials land
+// directly in opts.Dir (a Scheduler's own jobs get per-job
+// subdirectories), so existing callers and their evidence trails are
+// unchanged.
 func Run(ctx context.Context, spec fleet.Sweep, opts Options) (*fleet.SweepResult, error) {
-	switch {
-	case opts.Shards < 1:
-		return nil, fmt.Errorf("distrib: need at least 1 shard, got %d", opts.Shards)
-	case opts.Launcher == nil:
-		return nil, errors.New("distrib: no Launcher configured")
-	case opts.Dir == "":
-		return nil, errors.New("distrib: no working directory configured")
-	}
-	tasks, err := Plan(opts.Dir, spec, opts.Shards)
+	sched, err := NewScheduler(opts)
 	if err != nil {
 		return nil, err
 	}
-	cellsPerShard := len(spec.Cells()) + len(spec.BeamCells())
-	mux := newProgressMux(opts.Shards, cellsPerShard, opts.Progress)
-
-	slots := opts.MaxConcurrent
-	if slots <= 0 || slots > opts.Shards {
-		slots = opts.Shards
-	}
-	sem := make(chan struct{}, slots)
-	var wg sync.WaitGroup
-	failures := make([]*shardError, opts.Shards)
-	for _, t := range tasks {
-		wg.Add(1)
-		go func(t Task) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				return
-			}
-			failures[t.Shard] = superviseShard(ctx, t, opts, mux)
-		}(t)
-	}
-	wg.Wait()
-
-	var msgs []string
-	for _, f := range failures {
-		if f != nil {
-			msgs = append(msgs, f.Error())
-		}
-	}
-	if len(msgs) > 0 {
-		return nil, fmt.Errorf("distrib: %d of %d shards failed permanently:\n%s",
-			len(msgs), opts.Shards, strings.Join(msgs, "\n"))
-	}
-	if err := ctx.Err(); err != nil {
+	defer sched.Close()
+	job, err := sched.submit(spec, "job-1", opts.Dir, "")
+	if err != nil {
 		return nil, err
 	}
-	paths := make([]string, len(tasks))
-	for i, t := range tasks {
-		paths[i] = t.OutPath
+	stop := context.AfterFunc(ctx, job.Cancel)
+	defer stop()
+	res, err := job.Wait(ctx)
+	// A job cancelled because ctx ended reports the caller's context error
+	// (DeadlineExceeded stays DeadlineExceeded), as the one-shot form
+	// always has.
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
-	merged, err := fleet.MergeFiles(paths...)
-	if err != nil {
-		return nil, fmt.Errorf("distrib: folding shard partials: %w", err)
-	}
-	return merged, nil
+	return res, err
 }
 
 // superviseShard drives one shard through its attempt budget. nil means
 // its partial landed and validated; non-nil is a permanent failure. A
-// shard aborted because the whole fan-out was cancelled is not a failure.
+// shard aborted because the whole job was cancelled is not a failure.
 func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux) *shardError {
 	tail := &tailBuffer{max: tailBytes}
 	logf := opts.Logf
@@ -145,7 +80,7 @@ func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux)
 			delay := backoffDelay(opts.Backoff, attempt)
 			logf("shard %s: retry %d/%d in %s", t.ShardArg(), attempt, opts.Retries, delay)
 			if sleepCtx(ctx, delay) != nil {
-				return nil // fan-out cancelled while backing off
+				return nil // job cancelled while backing off
 			}
 		} else {
 			logf("shard %s: launching", t.ShardArg())
@@ -156,7 +91,7 @@ func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux)
 			return nil
 		}
 		if ctx.Err() != nil {
-			// The fan-out is shutting down; the abort is not this shard's
+			// The job is shutting down; the abort is not this shard's
 			// fault and retrying against a dead context is pointless.
 			return nil
 		}

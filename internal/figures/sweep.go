@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"fmt"
+	"sort"
+
+	"phirel/internal/fleet"
+	"phirel/internal/report"
+	"phirel/internal/state"
+)
+
+// TableGroup is one rendered slice of a sweep artifact: the paper tables
+// and figures for a single ablation arm. Kind discriminates the two arm
+// families; Label identifies the arm within its family and is what a
+// renderer prints as a section banner when a sweep carries more than one
+// arm of a kind.
+type TableGroup struct {
+	// Kind is "policy" for injection arms and "beam" for beam arms.
+	Kind string `json:"kind"`
+	// Label names the arm, e.g. "policy: by-frame" or
+	// "beam arm: KNC3120A, ECC on".
+	Label string `json:"label"`
+	// Tables are the rendered figures and tables, in paper order.
+	Tables []*report.Table `json:"tables"`
+}
+
+// SweepGroups renders a complete sweep artifact into table groups — the
+// one definition of "which figures does this artifact produce" shared by
+// cmd/phi-report (ASCII/CSV output) and the sweep service's figures
+// endpoint (JSON output), so the two surfaces can never disagree on what
+// a sweep renders as.
+//
+// Injection cells produce one group per site-selection policy (a
+// multi-policy sweep is an ablation and conflating its arms would
+// misreport every figure): Figure 4, Figure 5 (SDC and DUE), Figure 6
+// (SDC and DUE), and Table 1 per benchmark. Beam cells produce one group
+// per (device, ECC) arm: Figure 2, Figure 3, Table 2.
+func SweepGroups(sr *fleet.SweepResult) []TableGroup {
+	var groups []TableGroup
+	policies := sr.Spec.Policies
+	if len(policies) == 0 { // hand-built artifact without a normalised spec
+		seen := map[state.Policy]bool{}
+		for _, c := range sr.Cells {
+			if !seen[c.Policy] {
+				seen[c.Policy] = true
+				policies = append(policies, c.Policy)
+			}
+		}
+	}
+	for _, policy := range policies {
+		merged := sr.MergedFor(policy)
+		if len(merged) == 0 {
+			continue
+		}
+		g := TableGroup{Kind: "policy", Label: fmt.Sprintf("policy: %s", policy)}
+		g.Tables = append(g.Tables,
+			Figure4(merged),
+			Figure5(merged, false),
+			Figure5(merged, true),
+			Figure6(merged, false),
+			Figure6(merged, true))
+		names := make([]string, 0, len(merged))
+		for n := range merged {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			g.Tables = append(g.Tables, Table1(merged[n], 20))
+		}
+		groups = append(groups, g)
+	}
+	for _, arm := range sr.BeamArms() {
+		results := sr.BeamFor(arm.Device, arm.DisableECC)
+		if len(results) == 0 {
+			continue
+		}
+		ecc := "on"
+		if arm.DisableECC {
+			ecc = "off"
+		}
+		groups = append(groups, TableGroup{
+			Kind:   "beam",
+			Label:  fmt.Sprintf("beam arm: %s, ECC %s", arm.Device, ecc),
+			Tables: []*report.Table{Figure2(results), Figure3(results), Table2(results)},
+		})
+	}
+	return groups
+}

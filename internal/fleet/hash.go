@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+)
+
+// CanonicalHash returns the sweep's content address: the lowercase hex
+// SHA-256 of its canonical spec bytes. It is the cache key of the sweep
+// service — campaigns are bit-deterministic functions of their spec, so
+// two sweeps with equal hashes produce byte-identical merged artifacts
+// and one can be served for the other with zero compute.
+//
+// "Canonical" means the hash covers exactly the result's identity and
+// nothing else:
+//
+//   - the spec is normalized first, so a defaulted field and its explicit
+//     default value hash identically (an empty Models list and all four
+//     models spelled out are the same sweep);
+//   - Workers is zeroed, because pool size never changes a result (the
+//     engine's worker-independence contract, the same reason
+//     MergeSweepResults ignores it when comparing shard specs);
+//   - Progress is an execution hook and is never serialised.
+//
+// The resulting bytes are the WriteSpec encoding of that canonical form,
+// so the hash is stable across WriteSpec/ReadSpec round-trips. The exact
+// hash values are a contract, locked by golden-vector tests: changing the
+// spec encoding or the normalization rules is a cache-invalidating event
+// and must be deliberate.
+//
+// Note that normalization resolves registry-backed defaults (benchmark
+// lists, devices), so a defaulted sweep's hash legitimately changes when
+// the registered grid changes — its results change too. Fully explicit
+// specs hash the same forever.
+func (s Sweep) CanonicalHash() string {
+	c := s.normalized()
+	c.Workers = 0
+	c.Progress = nil
+	var b strings.Builder
+	if err := c.WriteSpec(&b); err != nil {
+		// A Sweep is plain data — slices of strings and integers — whose
+		// JSON encoding cannot fail; an error here means the type itself
+		// was broken.
+		panic("fleet: canonical spec encoding failed: " + err.Error())
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"phirel/internal/fault"
+	"phirel/internal/state"
+)
+
+// hashVectors lock CanonicalHash as a contract: these exact values are
+// cache keys of the sweep service, so any change to the spec encoding or
+// the normalization rules shows up here as a deliberate, reviewed
+// cache-invalidation event — not as a silent cache flush in production.
+// The specs are fully explicit (no registry-backed defaults), so the
+// vectors are stable regardless of what benchmarks are registered.
+var hashVectors = []struct {
+	name string
+	spec Sweep
+	hash string
+}{
+	{
+		name: "single-cell injection sweep",
+		spec: Sweep{
+			Benchmarks: []string{"DGEMM"},
+			Models:     []fault.Model{fault.Single},
+			Policies:   []state.Policy{state.ByFrameThenVariable},
+			N:          600, Seed: 1701, BenchSeed: 1,
+		},
+		hash: "134d6cf5074a87619b9d165485a6c0c04b7d6061a55f6a61c6a61fdeec1fbe79",
+	},
+	{
+		name: "mixed injection+beam sweep with ECC ablation",
+		spec: Sweep{
+			Benchmarks: []string{"DGEMM", "LavaMD"},
+			Models:     []fault.Model{fault.Single, fault.Double, fault.Random, fault.Zero},
+			Policies:   []state.Policy{state.ByFrameThenVariable},
+			N:          10000, Seed: 42, BenchSeed: 7,
+			BeamRuns: 6000, BeamBenchmarks: []string{"DGEMM"}, BeamDevices: []string{"KNC3120A"},
+			BeamECCAblation: true,
+		},
+		hash: "428a425925601f81cbd6b0b341846c99c1c560d2b7db08e3893ed8ef14ec2d9c",
+	},
+	{
+		name: "beam-only sweep",
+		spec: Sweep{
+			BeamRuns: 1000, BeamBenchmarks: []string{"LavaMD"}, BeamDevices: []string{"KNC5110P"},
+			Seed: 9, BenchSeed: 3,
+		},
+		hash: "e72b2f9e9d8a4c588ba0d7d130b69fdb65541290a9141b8444c9d073e8f0a4c8",
+	},
+}
+
+func TestCanonicalHashGoldenVectors(t *testing.T) {
+	for _, v := range hashVectors {
+		if got := v.spec.CanonicalHash(); got != v.hash {
+			t.Errorf("%s: CanonicalHash = %s, want %s (spec encoding or normalization changed — this invalidates every cached artifact)",
+				v.name, got, v.hash)
+		}
+	}
+}
+
+// TestCanonicalHashRoundTripStable: the hash survives a WriteSpec/ReadSpec
+// round trip — the exact path a spec takes through the sweep service (POST
+// body → ReadSpec → cache key), so a request and its stored form can never
+// disagree on identity.
+func TestCanonicalHashRoundTripStable(t *testing.T) {
+	for _, v := range hashVectors {
+		var b strings.Builder
+		if err := v.spec.WriteSpec(&b); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSpec(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if got := back.CanonicalHash(); got != v.hash {
+			t.Errorf("%s: hash changed across WriteSpec/ReadSpec: %s, want %s", v.name, got, v.hash)
+		}
+	}
+}
+
+// TestCanonicalHashIgnoresExecutionDetails: Workers and Progress never
+// change a result (the engine's worker-independence contract), so they
+// must not change the cache key either — otherwise two users asking the
+// same question with different pool sizes would each pay for the compute.
+func TestCanonicalHashIgnoresExecutionDetails(t *testing.T) {
+	base := hashVectors[0].spec
+	for _, workers := range []int{0, 1, 4, 64} {
+		s := base
+		s.Workers = workers
+		s.Progress = func(done, total int) {}
+		if got := s.CanonicalHash(); got != hashVectors[0].hash {
+			t.Errorf("Workers=%d changed the hash to %s", workers, got)
+		}
+	}
+}
+
+// TestCanonicalHashNormalizesDefaults: a defaulted field and its explicit
+// default are the same sweep and must share a cache entry.
+func TestCanonicalHashNormalizesDefaults(t *testing.T) {
+	implicit := Sweep{
+		Benchmarks: []string{"DGEMM"},
+		N:          600, Seed: 1701, BenchSeed: 1,
+	}
+	explicit := implicit
+	explicit.Models = append([]fault.Model(nil), fault.Models...)
+	explicit.Policies = []state.Policy{state.ByFrameThenVariable}
+	if implicit.CanonicalHash() != explicit.CanonicalHash() {
+		t.Error("defaulted and explicitly-defaulted specs hash differently")
+	}
+}
+
+// TestCanonicalHashSeparatesSpecs: anything that changes the result
+// changes the key.
+func TestCanonicalHashSeparatesSpecs(t *testing.T) {
+	base := hashVectors[0].spec
+	mutations := map[string]func(*Sweep){
+		"N":          func(s *Sweep) { s.N++ },
+		"Seed":       func(s *Sweep) { s.Seed++ },
+		"BenchSeed":  func(s *Sweep) { s.BenchSeed++ },
+		"Benchmarks": func(s *Sweep) { s.Benchmarks = []string{"LavaMD"} },
+		"Models":     func(s *Sweep) { s.Models = []fault.Model{fault.Zero} },
+		"BeamRuns": func(s *Sweep) {
+			s.BeamRuns = 10
+			s.BeamBenchmarks = []string{"DGEMM"}
+			s.BeamDevices = []string{"KNC3120A"}
+		},
+	}
+	for name, mutate := range mutations {
+		s := base
+		mutate(&s)
+		if s.CanonicalHash() == base.CanonicalHash() {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+}
