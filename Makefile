@@ -3,15 +3,16 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt sweep bench-smoke shard shard-merge shard-demo \
-	worker-bin fleet-check fleet-demo nightly-sweep cover fuzz serve-check ci
+.PHONY: build test race vet fmt sweep bench-smoke perf-gate shard shard-merge \
+	shard-demo worker-bin fleet-check fleet-demo nightly-sweep cover fuzz \
+	serve-check ci
 
 # The exact PR-gating sequence CI runs, as one local command. cover re-runs
 # the covered packages with coverage instrumentation (a different build
 # than test's, so the test cache cannot share them); CI pays nothing — the
 # jobs run in parallel — and locally it adds ~1 minute to a multi-minute
 # sequence.
-ci: fmt vet build test race bench-smoke cover serve-check fleet-demo
+ci: fmt vet build test race perf-gate cover serve-check fleet-demo
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,16 @@ race:
 # experiment index still executes, so engine regressions surface in CI.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Measures the fixed-seed perf suite and compares it against the committed
+# baseline (BENCH_7.json) with the Mann-Whitney gate: a significant median
+# slowdown beyond the margin fails the build. CI-noise-sized samples keep
+# the job fast; raise -samples locally for a tighter comparison. The
+# measured run lands in perf-ci.json (uploaded by CI for inspection).
+perf-gate:
+	$(GO) run ./cmd/phi-perf -baseline BENCH_7.json -check \
+		-samples 6 -sample-time 60ms -margin 0.25 \
+		-label ci -out perf-ci.json
 
 vet:
 	$(GO) vet ./...

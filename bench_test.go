@@ -57,62 +57,82 @@ func campaignResults(b *testing.B) map[string]*core.CampaignResult {
 	return campRes
 }
 
+// reportTrials attaches the rail's trials/sec metric: perIter is how many
+// campaign trials (or renders, for the figure-formatting benches) one
+// iteration executes.
+func reportTrials(b *testing.B, perIter float64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(perIter*float64(b.N)/s, "trials/sec")
+	}
+}
+
 func BenchmarkFigure2_BeamFIT(b *testing.B) {
 	res := beamResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = figures.Figure2(res).String()
 	}
 	b.StopTimer()
+	reportTrials(b, 1)
 	fmt.Fprintln(os.Stderr, figures.Figure2(res))
 }
 
 func BenchmarkFigure3_Tolerance(b *testing.B) {
 	res := beamResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = figures.Figure3(res).String()
 	}
 	b.StopTimer()
+	reportTrials(b, 1)
 	fmt.Fprintln(os.Stderr, figures.Figure3(res))
 }
 
 func BenchmarkFigure4_Outcomes(b *testing.B) {
 	res := campaignResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = figures.Figure4(res).String()
 	}
 	b.StopTimer()
+	reportTrials(b, 1)
 	fmt.Fprintln(os.Stderr, figures.Figure4(res))
 }
 
 func BenchmarkFigure5_FaultModelPVF(b *testing.B) {
 	res := campaignResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = figures.Figure5(res, false).String()
 		_ = figures.Figure5(res, true).String()
 	}
 	b.StopTimer()
+	reportTrials(b, 2)
 	fmt.Fprintln(os.Stderr, figures.Figure5(res, false))
 	fmt.Fprintln(os.Stderr, figures.Figure5(res, true))
 }
 
 func BenchmarkFigure6_TimeWindowPVF(b *testing.B) {
 	res := campaignResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = figures.Figure6(res, false).String()
 		_ = figures.Figure6(res, true).String()
 	}
 	b.StopTimer()
+	reportTrials(b, 2)
 	fmt.Fprintln(os.Stderr, figures.Figure6(res, false))
 	fmt.Fprintln(os.Stderr, figures.Figure6(res, true))
 }
 
 func BenchmarkTable1_RegionCriticality(b *testing.B) {
 	res := campaignResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, name := range all.Suite {
@@ -120,6 +140,7 @@ func BenchmarkTable1_RegionCriticality(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	reportTrials(b, float64(len(all.Suite)))
 	for _, name := range all.Suite {
 		fmt.Fprintln(os.Stderr, figures.Table1(res[name], 20))
 	}
@@ -127,17 +148,20 @@ func BenchmarkTable1_RegionCriticality(b *testing.B) {
 
 func BenchmarkTable2_Extrapolation(b *testing.B) {
 	res := beamResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = figures.Table2(res).String()
 	}
 	b.StopTimer()
+	reportTrials(b, 1)
 	fmt.Fprintln(os.Stderr, figures.Table2(res))
 }
 
 // Ablation A1: the CAROL-FI frame-then-variable policy vs physical
 // by-bytes site selection.
 func BenchmarkAblation_SitePolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, pol := range []state.Policy{state.ByFrameThenVariable, state.ByBytes} {
 			res, err := core.RunCampaign(core.CampaignConfig{
@@ -152,10 +176,12 @@ func BenchmarkAblation_SitePolicy(b *testing.B) {
 			}
 		}
 	}
+	reportTrials(b, 2*400)
 }
 
 // Ablation A2: SECDED on vs off in the device model.
 func BenchmarkAblation_ECC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, off := range []bool{false, true} {
 			res, err := beam.Run(beam.Config{
@@ -171,6 +197,7 @@ func BenchmarkAblation_ECC(b *testing.B) {
 			}
 		}
 	}
+	reportTrials(b, 2*4000)
 }
 
 // Ablation A3: mitigation effectiveness/overhead — ABFT-checksummed matmul
@@ -185,6 +212,7 @@ func BenchmarkAblation_Mitigation(b *testing.B) {
 		bm[i] = 2*rng.Float64() - 1
 	}
 	b.Run("plain-matmul", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			c := make([]float64, n*n)
 			for r := 0; r < n; r++ {
@@ -196,14 +224,17 @@ func BenchmarkAblation_Mitigation(b *testing.B) {
 				}
 			}
 		}
+		reportTrials(b, 1)
 	})
 	b.Run("abft-matmul+check", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m := mitigation.ABFTMatMul(a, bm, n)
 			if m.Check(1e-6) != mitigation.OK {
 				b.Fatal("clean product flagged")
 			}
 		}
+		reportTrials(b, 1)
 	})
 	b.Run("selective-plan", func(b *testing.B) {
 		res, err := core.RunCampaign(core.CampaignConfig{
@@ -212,6 +243,7 @@ func BenchmarkAblation_Mitigation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			plan := mitigation.SelectivePlan(res, 0.15, 20)
@@ -220,6 +252,7 @@ func BenchmarkAblation_Mitigation(b *testing.B) {
 					100*plan.TotalOverhead, 100*plan.HarmBefore, 100*plan.HarmAfter)
 			}
 		}
+		reportTrials(b, 1)
 	})
 }
 
@@ -227,16 +260,20 @@ func BenchmarkAblation_Mitigation(b *testing.B) {
 // benchmarks × fault-models grid on one shared pool at a small N, the same
 // shape CI's sweep artifact job runs.
 func BenchmarkFleetSweep(b *testing.B) {
+	b.ReportAllocs()
+	trials := 0.0
 	for i := 0; i < b.N; i++ {
 		res, err := fleet.Sweep{N: 8, Seed: 1701, BenchSeed: 1, Workers: 8}.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
+			trials = float64(8 * len(res.Cells))
 			fmt.Fprintf(os.Stderr, "fleet: %d cells, %d benchmarks merged\n",
 				len(res.Cells), len(res.Merged()))
 		}
 	}
+	reportTrials(b, trials)
 }
 
 // BenchmarkWorkloads measures raw golden-run cost per workload (context for
@@ -248,12 +285,14 @@ func BenchmarkWorkloads(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if res := inj.Runner.RunGolden(); res.Status != 0 {
 					b.Fatal("golden run failed")
 				}
 			}
+			reportTrials(b, 1)
 		})
 	}
 }

@@ -62,7 +62,18 @@ func main() {
 		progJSONL = flag.Bool("progress-jsonl", false, "sweep: emit machine-readable JSONL progress events on stderr (the phi-fleet protocol)")
 		frameOut  = flag.Bool("frame-out", false, "sweep: with -out -, wrap the artifact in the base64 sentinel frame that survives stream-merging transports (Kubernetes pod logs)")
 	)
+	var prof cli.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *sweep || *specArg != "" {
 		runSweep(sweepOpts{

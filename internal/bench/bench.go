@@ -67,6 +67,25 @@ func (o Output) Clone() Output {
 	return c
 }
 
+// OutputInto is implemented by benchmarks that can write their canonical
+// output into a caller-provided buffer. The Runner uses it to reuse one
+// buffer across injected runs instead of allocating a fresh output slice
+// per trial. dst may be nil or too small; implementations grow it with
+// GrowVals and return the buffer they actually filled.
+type OutputInto interface {
+	OutputInto(dst []float64) Output
+}
+
+// GrowVals returns dst resized to n elements, reallocating only when its
+// capacity is insufficient. Contents are unspecified; callers overwrite
+// every element (or zero it first for sparse writers).
+func GrowVals(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
 // Benchmark is one injectable workload.
 type Benchmark interface {
 	// Name returns the paper's benchmark name (e.g. "DGEMM").

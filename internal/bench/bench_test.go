@@ -291,7 +291,7 @@ func TestParallelForPanicPropagates(t *testing.T) {
 }
 
 func TestCtxWatchdog(t *testing.T) {
-	ctx := newCtx(-1, nil, 100)
+	ctx := newCtx(-1, nil, 100, nil)
 	ctx.Work(99)
 	defer func() {
 		if _, ok := recover().(watchdogFired); !ok {
@@ -302,7 +302,7 @@ func TestCtxWatchdog(t *testing.T) {
 }
 
 func TestCtxUnlimitedBudget(t *testing.T) {
-	ctx := newCtx(-1, nil, 0)
+	ctx := newCtx(-1, nil, 0, nil)
 	ctx.Work(1 << 50) // must not panic
 	if ctx.WorkDone() != 1<<50 {
 		t.Fatal("work accounting")

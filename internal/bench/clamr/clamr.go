@@ -92,6 +92,13 @@ type CLAMR struct {
 	tmpI, tmpJ, tmpLev []int
 	tmpH, tmpU, tmpV   []float64
 	marks              []int8 // +1 refine, -1 coarsenable, 0 keep
+
+	// sort-phase backing storage, capacity-sized and wrapped as fresh sites
+	// each step so the per-step allocations disappear. The scratch halves are
+	// re-zeroed before registration: they are live-but-unwritten at the sort
+	// tick, so their injectable "before" values must match the zeroed fresh
+	// allocations they replace.
+	sortK, sortP, sortSK, sortSP []int
 }
 
 // New builds a CLAMR instance. The initial mesh is uniform at level 1 with
@@ -150,6 +157,10 @@ func New(cfg Config, seed uint64) *CLAMR {
 	c.tmpU = make([]float64, c.cap)
 	c.tmpV = make([]float64, c.cap)
 	c.marks = make([]int8, c.cap)
+	c.sortK = make([]int, c.cap)
+	c.sortP = make([]int, c.cap)
+	c.sortSK = make([]int, c.cap)
+	c.sortSP = make([]int, c.cap)
 	c.qt.init(c.cap)
 	return c
 }
@@ -213,6 +224,23 @@ func (c *CLAMR) Reset() {
 	for i := range c.h2.Data {
 		c.h2.Data[i], c.u2.Data[i], c.v2.Data[i] = 0, 0, 0
 	}
+	// The quadtree scratch is registered at full capacity every tree phase,
+	// so elements beyond the live node count are injectable. Clear them, or
+	// a reused benchmark instance leaks node data from whichever trial ran
+	// on it last — making recorded injection sites depend on the engine's
+	// trial→worker assignment and breaking cross-worker-count byte-identity.
+	q := &c.qt
+	for i := range q.lo {
+		q.lo[i], q.size[i], q.cell[i] = 0, 0, 0
+	}
+	for i := range q.child {
+		q.child[i] = 0
+	}
+	for i := range q.keys {
+		q.keys[i] = 0
+	}
+	q.n = 0
+	q.root = 0
 	c.ncell.Store(n)
 	c.stepCur.Store(0)
 	c.stepEnd.Store(c.cfg.Steps)
@@ -244,8 +272,16 @@ func (c *CLAMR) Run(ctx *bench.Ctx) {
 
 // Output implements bench.Benchmark: H sampled onto the uniform fine grid,
 // so runs with different mesh evolutions remain comparable.
-func (c *CLAMR) Output() bench.Output {
-	out := make([]float64, c.fine*c.fine)
+func (c *CLAMR) Output() bench.Output { return c.OutputInto(nil) }
+
+// OutputInto implements bench.OutputInto.
+func (c *CLAMR) OutputInto(dst []float64) bench.Output {
+	out := bench.GrowVals(dst, c.fine*c.fine)
+	// The sampler leaves unswept fine cells at zero (corrupted levels are
+	// skipped), so a reused buffer must start clean.
+	for i := range out {
+		out[i] = 0
+	}
 	n := c.ncell.Load()
 	for idx := 0; idx < n && idx < c.cap; idx++ {
 		lev := c.clev.Data[idx]

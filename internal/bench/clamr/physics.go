@@ -14,10 +14,20 @@ func (c *CLAMR) physicsPhase(ctx *bench.Ctx, n int) {
 	ctx.Tick() // physics phase
 	ctx.Work(int64(n)*16 + 1)
 	dt, g, lam := c.dt.Load(), c.grav.Load(), c.lam.Load()
-	bench.ParallelFor(c.cfg.Workers, n, func(w, start, end int) {
+	// Nothing armed ⇒ nothing fires mid-phase; plain cell loop with
+	// identical updates and section-final cursor state.
+	fast := !c.reg.AnyArmed()
+	ctx.ParallelFor(c.cfg.Workers, n, func(w, start, end int) {
 		wk := &c.workers[w]
 		wk.cStart.Store(start)
 		wk.cEnd.Store(end)
+		if fast {
+			for i := start; i < end; i++ {
+				c.updateCell(i, n, dt, g, lam)
+			}
+			wk.cCur.Store(end)
+			return
+		}
 		for wk.cCur.Store(wk.cStart.Load()); wk.cCur.Load() < wk.cEnd.Load(); wk.cCur.Add(1) {
 			i := wk.cCur.Load()
 			// start/end are uncorruptible chunk bounds: a wandering cursor

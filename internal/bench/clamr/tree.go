@@ -2,6 +2,7 @@ package clamr
 
 import (
 	"fmt"
+	"math/bits"
 
 	"phirel/internal/bench"
 	"phirel/internal/state"
@@ -100,7 +101,17 @@ func (q *quadtree) query(key int) int {
 		if off < 0 || off >= size {
 			panic(fmt.Sprintf("clamr: key %d outside node range", key))
 		}
-		node = q.child[4*node+off/(size/4)]
+		// Quarter widths are powers of two on every tree build ever produces,
+		// where the hot division is a shift; the division stays as the
+		// fallback so corrupted node sizes keep their exact old behaviour.
+		quarter := size >> 2
+		var ch int
+		if quarter&(quarter-1) == 0 {
+			ch = off >> uint(bits.Len(uint(quarter))-1)
+		} else {
+			ch = off / quarter
+		}
+		node = q.child[4*node+ch]
 	}
 }
 
@@ -129,11 +140,25 @@ func (c *CLAMR) treePhase(ctx *bench.Ctx, n int) {
 	// GDB interrupt would find for most of the phase's duration.
 	ctx.Tick()
 
-	// Neighbour resolution, parallel over cells.
-	bench.ParallelFor(c.cfg.Workers, n, func(w, start, end int) {
+	// Neighbour resolution, parallel over cells. The live cell count is read
+	// once here, on the orchestrator: ncell is armable, and concurrent Loads
+	// from worker lanes would race the deferred-corruption countdown, making
+	// which lane observes the corrupted count scheduling-dependent.
+	live := c.ncell.Load()
+	// Nothing armed ⇒ nothing fires mid-phase; plain neighbour loop with
+	// identical queries and section-final cursor state.
+	fast := !c.reg.AnyArmed()
+	ctx.ParallelFor(c.cfg.Workers, n, func(w, start, end int) {
 		wk := &c.workers[w]
 		wk.cStart.Store(start)
 		wk.cEnd.Store(end)
+		if fast {
+			for i := start; i < end; i++ {
+				c.findNeighbours(i, live)
+			}
+			wk.cCur.Store(end)
+			return
+		}
 		for wk.cCur.Store(wk.cStart.Load()); wk.cCur.Load() < wk.cEnd.Load(); wk.cCur.Add(1) {
 			i := wk.cCur.Load()
 			// start/end are uncorruptible chunk bounds: a wandering cursor
@@ -141,7 +166,7 @@ func (c *CLAMR) treePhase(ctx *bench.Ctx, n int) {
 			if i < start || i >= end {
 				panic(fmt.Sprintf("clamr: neighbour cursor %d outside chunk [%d,%d)", i, start, end))
 			}
-			c.findNeighbours(i)
+			c.findNeighbours(i, live)
 		}
 	})
 	c.reg.Pop()
@@ -151,29 +176,28 @@ func (c *CLAMR) treePhase(ctx *bench.Ctx, n int) {
 // query result is validated against the cell's actual extent; a mismatch
 // means mesh or tree corruption and aborts, as the real code's neighbour
 // consistency checks do.
-func (c *CLAMR) findNeighbours(i int) {
+func (c *CLAMR) findNeighbours(i, live int) {
 	lev := c.clev.Data[i]
 	if lev < 0 || lev > c.cfg.MaxLevel {
 		panic(fmt.Sprintf("clamr: corrupted cell level %d", lev))
 	}
 	size := 1 << (c.cfg.MaxLevel - lev)
 	x0, y0 := c.ci.Data[i]*size, c.cj.Data[i]*size
-	c.nbE.Data[i] = c.locate(x0+size, y0)
-	c.nbW.Data[i] = c.locate(x0-1, y0)
-	c.nbN.Data[i] = c.locate(x0, y0+size)
-	c.nbS.Data[i] = c.locate(x0, y0-1)
+	c.nbE.Data[i] = c.locate(x0+size, y0, live)
+	c.nbW.Data[i] = c.locate(x0-1, y0, live)
+	c.nbN.Data[i] = c.locate(x0, y0+size, live)
+	c.nbS.Data[i] = c.locate(x0, y0-1, live)
 }
 
 // locate returns the cell containing fine coordinate (x,y), or -1 outside
-// the domain.
-func (c *CLAMR) locate(x, y int) int {
+// the domain. live is the cell count read at phase start (see treePhase).
+func (c *CLAMR) locate(x, y, live int) int {
 	if x < 0 || x >= c.fine || y < 0 || y >= c.fine {
 		return -1
 	}
 	idx := c.qt.query(morton(x, y))
-	n := c.ncell.Load()
-	if idx < 0 || idx >= n {
-		panic(fmt.Sprintf("clamr: quadtree returned cell %d of %d", idx, n))
+	if idx < 0 || idx >= live {
+		panic(fmt.Sprintf("clamr: quadtree returned cell %d of %d", idx, live))
 	}
 	lev := c.clev.Data[idx]
 	if lev < 0 || lev > c.cfg.MaxLevel {

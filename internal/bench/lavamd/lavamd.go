@@ -174,11 +174,25 @@ func (l *LavaMD) Run(ctx *bench.Ctx) {
 	for row := 0; row < rows; row++ {
 		ctx.Tick()
 		ctx.Work(int64(rowBoxes)*int64(ppb)*27*int64(ppb) + 1)
-		bench.ParallelFor(l.cfg.Workers, rowBoxes, func(w, start, end int) {
+		// One orchestrator read of the (armable) potential parameter per row:
+		// concurrent Loads from worker lanes would race the deferred-corruption
+		// countdown and make the observed value scheduling-dependent.
+		a2 := l.a2.Load()
+		// Nothing armed ⇒ nothing fires mid-section; plain box loop with
+		// identical per-box calls and section-final cursor state.
+		fast := !l.reg.AnyArmed()
+		ctx.ParallelFor(l.cfg.Workers, rowBoxes, func(w, start, end int) {
 			wk := &l.workers[w]
 			wk.bStart.Store(row*rowBoxes + start)
 			wk.bEnd.Store(row*rowBoxes + end)
 			lo, hi := row*rowBoxes+start, row*rowBoxes+end
+			if fast {
+				for b := lo; b < hi; b++ {
+					l.box(b, ppb, a2)
+				}
+				wk.bCur.Store(hi)
+				return
+			}
 			for wk.bCur.Store(lo); wk.bCur.Load() < wk.bEnd.Load(); wk.bCur.Add(1) {
 				b := wk.bCur.Load()
 				// lo/hi are uncorruptible chunk bounds: a wandering cursor
@@ -186,17 +200,17 @@ func (l *LavaMD) Run(ctx *bench.Ctx) {
 				if b < lo || b >= hi {
 					panic(fmt.Sprintf("lavamd: box %d outside chunk [%d,%d)", b, lo, hi))
 				}
-				l.box(b, ppb)
+				l.box(b, ppb, a2)
 			}
 		})
 	}
 }
 
 // box accumulates forces for every particle of home box b against all
-// particles of its neighbour boxes (Rodinia's kernel formula).
-func (l *LavaMD) box(b, ppb int) {
+// particles of its neighbour boxes (Rodinia's kernel formula). a2 is the
+// potential parameter read once per row on the orchestrator.
+func (l *LavaMD) box(b, ppb int, a2 float64) {
 	rv, qv, fv, nn := l.rv.Data, l.qv.Data, l.fv.Data, l.nn.Data
-	a2 := l.a2.Load()
 	for p := 0; p < ppb; p++ {
 		i := b*ppb + p
 		xi, yi, zi := rv[3*i], rv[3*i+1], rv[3*i+2]
@@ -230,8 +244,13 @@ func (l *LavaMD) box(b, ppb int) {
 
 // Output implements bench.Benchmark: per-particle force 4-vectors with the
 // box grid's 3-D shape.
-func (l *LavaMD) Output() bench.Output {
-	return bench.Output{Vals: append([]float64(nil), l.fv.Data...), Shape: l.fv.Shape}
+func (l *LavaMD) Output() bench.Output { return l.OutputInto(nil) }
+
+// OutputInto implements bench.OutputInto.
+func (l *LavaMD) OutputInto(dst []float64) bench.Output {
+	dst = bench.GrowVals(dst, len(l.fv.Data))
+	copy(dst, l.fv.Data)
+	return bench.Output{Vals: dst, Shape: l.fv.Shape}
 }
 
 // Positions exposes the distance array for beam tests.

@@ -54,6 +54,12 @@ type LUD struct {
 	// corrupting them walks the kernels out of bounds or onto wrong tiles.
 	nCell, bsCell, nbCell, kCur *state.Int
 
+	// diaTmp is the perimeter phase's diagonal-block temporary, allocated
+	// once and fully overwritten before each frame registration, so the
+	// per-step state.NewF32s churn disappears without changing what an
+	// injection at the perimeter tick can observe.
+	diaTmp *state.F32s
+
 	workers []worker
 }
 
@@ -79,6 +85,7 @@ func New(cfg Config, seed uint64) *LUD {
 	l.bsCell = state.NewInt("bs", "control", cfg.Block)
 	l.nbCell = state.NewInt("nb", "control", cfg.N/cfg.Block)
 	l.kCur = state.NewInt("kCur", "control", 0)
+	l.diaTmp = state.NewF32s("diaTmp", "temp", state.Dims2(cfg.Block, cfg.Block))
 	l.reg.Global().Register(l.a, l.nCell, l.bsCell, l.nbCell, l.kCur)
 	l.workers = make([]worker, cfg.Workers)
 	for w := range l.workers {
@@ -138,7 +145,7 @@ func (l *LUD) Run(ctx *bench.Ctx) {
 		// Perimeter phase: diagonal-block temporaries live in a frame, as
 		// the paper's "temporary matrices".
 		frame := l.reg.Push("perimeter")
-		dia := state.NewF32s("diaTmp", "temp", state.Dims2(bs, bs))
+		dia := l.diaTmp
 		for i := 0; i < bs; i++ {
 			for j := 0; j < bs; j++ {
 				dia.Set(j, i, 0, l.a.Data[(k*bs+i)*n+k*bs+j])
@@ -149,7 +156,7 @@ func (l *LUD) Run(ctx *bench.Ctx) {
 		panels := 2 * (nb - k - 1)
 		ctx.Work(int64(panels)*int64(bs)*int64(bs)*int64(bs) + 1)
 		if panels > 0 {
-			bench.ParallelFor(l.cfg.Workers, panels, func(w, start, end int) {
+			ctx.ParallelFor(l.cfg.Workers, panels, func(w, start, end int) {
 				wk := &l.workers[w]
 				wk.bStart.Store(start)
 				wk.bEnd.Store(end)
@@ -175,7 +182,7 @@ func (l *LUD) Run(ctx *bench.Ctx) {
 		inner := (nb - k - 1) * (nb - k - 1)
 		ctx.Work(2*int64(inner)*int64(bs)*int64(bs)*int64(bs) + 1)
 		if inner > 0 {
-			bench.ParallelFor(l.cfg.Workers, inner, func(w, start, end int) {
+			ctx.ParallelFor(l.cfg.Workers, inner, func(w, start, end int) {
 				wk := &l.workers[w]
 				wk.bStart.Store(start)
 				wk.bEnd.Store(end)
@@ -264,12 +271,15 @@ func (l *LUD) internal(k, bi, bj, bs, n int) {
 }
 
 // Output implements bench.Benchmark: the packed L\U matrix.
-func (l *LUD) Output() bench.Output {
-	out := make([]float64, len(l.a.Data))
+func (l *LUD) Output() bench.Output { return l.OutputInto(nil) }
+
+// OutputInto implements bench.OutputInto.
+func (l *LUD) OutputInto(dst []float64) bench.Output {
+	dst = bench.GrowVals(dst, len(l.a.Data))
 	for i, v := range l.a.Data {
-		out[i] = float64(v)
+		dst[i] = float64(v)
 	}
-	return bench.Output{Vals: out, Shape: l.a.Shape}
+	return bench.Output{Vals: dst, Shape: l.a.Shape}
 }
 
 // Matrix exposes the in-place matrix for mitigation and beam tests.

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"sync"
+)
+
+// poolTask is one chunk of a ParallelFor section dispatched to a pool lane.
+type poolTask struct {
+	body          func(worker, start, end int)
+	w, start, end int
+	wg            *sync.WaitGroup
+	panics        []any
+}
+
+// pool is a set of persistent worker goroutines, one per lane, owned by a
+// Runner and reused across every ParallelFor section of every run. It
+// replaces the per-call goroutine spawn (+WaitGroup churn) that dominated
+// the section overhead of fine-grained kernels.
+//
+// Lanes are created lazily on first use and grown on demand, so
+// single-worker benchmarks never spawn any. Lane w of a section runs on
+// pool goroutine w-1; lane 0 always runs on the orchestrator goroutine,
+// which both saves a handoff and keeps one core busy while it waits.
+type pool struct {
+	lanes []chan poolTask
+}
+
+func (p *pool) grow(n int) {
+	for len(p.lanes) < n {
+		ch := make(chan poolTask, 1)
+		p.lanes = append(p.lanes, ch)
+		go func() {
+			for t := range ch {
+				runTask(t)
+			}
+		}()
+	}
+}
+
+func runTask(t poolTask) {
+	defer t.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.panics[t.w] = r
+		}
+	}()
+	t.body(t.w, t.start, t.end)
+}
+
+// close shuts the lane goroutines down. Safe to call more than once.
+func (p *pool) close() {
+	for _, ch := range p.lanes {
+		close(ch)
+	}
+	p.lanes = nil
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 
 	"phirel/internal/state"
 )
@@ -95,14 +96,34 @@ type Runner struct {
 	// (default 4: generous enough that legitimate perturbed runs finish,
 	// tight enough that corrupted loop bounds trip it quickly).
 	BudgetFactor float64
+
+	// budget memoizes Budget() for the (BudgetFactor, GoldenWork) pair it
+	// was computed from, so RunInjected does no float math per trial.
+	budget       int64
+	budgetFactor float64
+	budgetWork   int64
+
+	// p holds the persistent ParallelFor lane goroutines shared by every
+	// run of this runner (see pool). Created lazily; Close releases it, and
+	// a runtime cleanup releases it for runners that are simply dropped.
+	p *pool
+
+	// outBuf is the reused output buffer handed to OutputInto benchmarks on
+	// injected runs (see RunInjected's aliasing note).
+	outBuf []float64
 }
 
 // NewRunner builds a runner and performs the golden run. It returns an
 // error if the pristine benchmark crashes or produces an empty output,
 // which would indicate a broken workload rather than a fault effect.
 func NewRunner(b Benchmark) (*Runner, error) {
-	r := &Runner{B: b, BudgetFactor: 4}
-	res := r.run(-1, nil, 0)
+	r := &Runner{B: b, BudgetFactor: 4, p: &pool{}}
+	// Runners are routinely dropped without Close (campaign workers, tests);
+	// the cleanup stops the lane goroutines once the runner is unreachable.
+	// The pool itself is not referenced by its lane goroutines' closures
+	// beyond the channels, so this does not keep the runner alive.
+	runtime.AddCleanup(r, func(p *pool) { p.close() }, r.p)
+	res := r.run(-1, nil, 0, false)
 	if res.Status != Completed {
 		return nil, fmt.Errorf("bench: golden run of %s did not complete: %s %s", b.Name(), res.Status, res.PanicMsg)
 	}
@@ -118,9 +139,22 @@ func NewRunner(b Benchmark) (*Runner, error) {
 	return r, nil
 }
 
-// Budget returns the watchdog budget for injected runs.
+// Close stops the runner's persistent worker lanes. The runner must not be
+// used afterwards. Optional: dropping the runner releases them too.
+func (r *Runner) Close() {
+	if r.p != nil {
+		r.p.close()
+	}
+}
+
+// Budget returns the watchdog budget for injected runs. The value is
+// memoized and recomputed only when BudgetFactor or GoldenWork changes.
 func (r *Runner) Budget() int64 {
-	return int64(r.BudgetFactor*float64(r.GoldenWork)) + 1024
+	if r.budgetFactor != r.BudgetFactor || r.budgetWork != r.GoldenWork || r.budget == 0 {
+		r.budgetFactor, r.budgetWork = r.BudgetFactor, r.GoldenWork
+		r.budget = int64(r.BudgetFactor*float64(r.GoldenWork)) + 1024
+	}
+	return r.budget
 }
 
 // Window maps an injection tick to a time-window index in
@@ -145,19 +179,23 @@ func (r *Runner) WindowBounds(w int) (lo, hi int) {
 }
 
 // RunGolden re-executes the pristine benchmark (used by tests to check
-// determinism).
-func (r *Runner) RunGolden() RawResult { return r.run(-1, nil, 0) }
+// determinism). Its output is freshly allocated, never reused.
+func (r *Runner) RunGolden() RawResult { return r.run(-1, nil, 0, false) }
 
 // RunInjected executes one run with the inject callback fired at the given
 // tick. The callback runs with the benchmark quiescent and typically
 // corrupts one registry site.
+//
+// For benchmarks implementing OutputInto, the result's Output aliases a
+// buffer owned by the runner that the next RunInjected call overwrites;
+// callers keeping an output across calls must Clone it.
 func (r *Runner) RunInjected(tick int, inject func()) RawResult {
-	return r.run(tick, inject, r.Budget())
+	return r.run(tick, inject, r.Budget(), true)
 }
 
-func (r *Runner) run(tick int, inject func(), budget int64) (res RawResult) {
+func (r *Runner) run(tick int, inject func(), budget int64, reuse bool) (res RawResult) {
 	r.B.Reset()
-	ctx := newCtx(tick, inject, budget)
+	ctx := newCtx(tick, inject, budget, r.p)
 	defer func() {
 		res.Ticks = ctx.Ticks()
 		res.Work = ctx.WorkDone()
@@ -179,7 +217,12 @@ func (r *Runner) run(tick int, inject func(), budget int64) (res RawResult) {
 			return
 		}
 		res.Status = Completed
-		res.Output = r.B.Output()
+		if oi, ok := r.B.(OutputInto); ok && reuse {
+			res.Output = oi.OutputInto(r.outBuf)
+			r.outBuf = res.Output.Vals
+		} else {
+			res.Output = r.B.Output()
+		}
 	}()
 	r.B.Run(ctx)
 	return

@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags is the pprof flag surface the command-line tools share:
+// -cpuprofile samples the whole process lifetime, -memprofile snapshots
+// the heap at exit. Both write the binary pprof format that
+// `go tool pprof` reads, so a slow sweep can be profiled in production
+// exactly as `go test -cpuprofile` profiles the benchmarks.
+type ProfileFlags struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// Register installs the profiling flags on fs.
+func (f *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap allocation profile to this file at exit")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Pair with Stop
+// before exit; Stop also writes the -memprofile snapshot.
+func (f *ProfileFlags) Start() error {
+	if f.CPU == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPU)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile.
+func (f *ProfileFlags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		f.cpuFile = nil
+	}
+	if f.Mem == "" {
+		return nil
+	}
+	file, err := os.Create(f.Mem)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC() // up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return file.Close()
+}

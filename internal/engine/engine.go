@@ -162,6 +162,10 @@ func Run[R, A any](ctx context.Context, cfg Config[R, A]) (*Result[R, A], error)
 				return
 			}
 			sh := shards[w]
+			// One reusable generator per worker: Reseed restores the exact
+			// NewRNG(seed) state, so trial streams stay bit-identical while
+			// the per-trial heap allocation disappears.
+			var rng stats.RNG
 			for li := w; li < cfg.N; li += workers {
 				select {
 				case <-ctx.Done():
@@ -171,8 +175,8 @@ func Run[R, A any](ctx context.Context, cfg Config[R, A]) (*Result[R, A], error)
 				// The global index is the trial's identity — it keys the
 				// RNG stream, so the shard boundary never shifts a seed.
 				i := cfg.Offset + li
-				rng := stats.NewRNG(stats.Mix64(cfg.Seed, uint64(i)))
-				rec := run(i, rng)
+				rng.Reseed(stats.Mix64(cfg.Seed, uint64(i)))
+				rec := run(i, &rng)
 				// Deliver before folding (see Config.Stream).
 				if cfg.Stream != nil {
 					select {

@@ -1,0 +1,137 @@
+package perf
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyU returns the two-sided p-value of the Mann-Whitney U test
+// (a.k.a. Wilcoxon rank-sum) that samples a and b are drawn from the same
+// distribution — the test benchstat uses for benchmark deltas. For small
+// tie-free samples (n, m <= 20) the exact null distribution of U is used;
+// otherwise the normal approximation with midranks, tie correction, and
+// continuity correction.
+func MannWhitneyU(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	type obs struct {
+		v float64
+		g int // 0 = a, 1 = b
+	}
+	all := make([]obs, 0, n+m)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks and tie bookkeeping.
+	ranks := make([]float64, n+m)
+	ties := false
+	var tieTerm float64 // Σ (t³ - t) over tie groups
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		if t := j - i; t > 1 {
+			ties = true
+			tieTerm += float64(t*t*t - t)
+		}
+		i = j
+	}
+	var ra float64 // rank sum of group a
+	for i, o := range all {
+		if o.g == 0 {
+			ra += ranks[i]
+		}
+	}
+	ua := ra - float64(n*(n+1))/2
+	ub := float64(n*m) - ua
+	u := math.Min(ua, ub)
+
+	if !ties && n <= 20 && m <= 20 {
+		return exactMWU(n, m, u)
+	}
+	// Normal approximation.
+	nm := float64(n * m)
+	mean := nm / 2
+	nTot := float64(n + m)
+	sigma2 := nm / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if sigma2 <= 0 {
+		return 1 // all observations identical
+	}
+	z := (math.Abs(u-mean) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	p := math.Erfc(z / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// exactMWU returns the exact two-sided p-value P(U <= u)·2 under the null,
+// via the standard counting recurrence over rank arrangements.
+func exactMWU(n, m int, u float64) float64 {
+	uInt := int(u) // tie-free U is integral
+	// count[i][j][k]: arrangements of i from group A, j from group B with
+	// U statistic exactly k. Rolled over i to bound memory.
+	maxU := n * m
+	// f(i, j, k) = f(i-1, j, k-j) + f(i, j-1, k)
+	prev := make([][]float64, m+1) // f(i-1, ·, ·)
+	cur := make([][]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = make([]float64, maxU+1)
+		cur[j] = make([]float64, maxU+1)
+	}
+	// i = 0: U must be 0 for any j.
+	for j := 0; j <= m; j++ {
+		prev[j][0] = 1
+	}
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			for k := 0; k <= maxU; k++ {
+				var v float64
+				if k >= j {
+					v += prev[j][k-j]
+				}
+				if j > 0 {
+					v += cur[j-1][k]
+				}
+				cur[j][k] = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	total := binom(n+m, n)
+	var cum float64
+	for k := 0; k <= uInt && k <= maxU; k++ {
+		cum += prev[m][k]
+	}
+	p := 2 * cum / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}

@@ -1,0 +1,174 @@
+// Package perf is the repo's performance rail: a fixed-seed benchmark suite
+// over the injection and beam hot paths, a self-contained measurement
+// harness (ns/trial, allocs/trial, B/trial, trials/sec with per-sample
+// arrays), and a benchstat-style statistical comparator (Mann-Whitney U)
+// used by the perf-gate CI job to fail on significant regression against
+// the committed BENCH_*.json baseline.
+//
+// The harness measures wall time rather than reusing testing.Benchmark so
+// sample count and duration stay controllable from a plain binary
+// (cmd/phi-perf) and the raw per-sample data can be persisted for later
+// statistics — testing.Benchmark exposes only a single aggregated result.
+package perf
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Case is one measurable unit of the suite. Setup constructs any state that
+// should not be timed (runners, golden outputs) and returns the timed body;
+// one body call executes Trials trials.
+type Case struct {
+	Name   string
+	Trials int
+	Setup  func() (func(), error)
+}
+
+// Entry is the measured result of one Case.
+type Entry struct {
+	Name           string    `json:"name"`
+	Trials         int       `json:"trials"`         // trials per body call
+	SamplesNs      []float64 `json:"samplesNs"`      // ns/trial, one per sample
+	NsPerTrial     float64   `json:"nsPerTrial"`     // median of SamplesNs
+	TrialsPerSec   float64   `json:"trialsPerSec"`   // 1e9 / NsPerTrial
+	AllocsPerTrial float64   `json:"allocsPerTrial"` // heap allocations
+	BytesPerTrial  float64   `json:"bytesPerTrial"`  // heap bytes
+}
+
+// Run is one full measurement of the suite on one machine.
+type Run struct {
+	Schema    int     `json:"schema"`
+	Label     string  `json:"label,omitempty"`
+	GoVersion string  `json:"goVersion"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"numCPU"`
+	Time      string  `json:"time,omitempty"` // RFC3339, informational only
+	Samples   int     `json:"samples"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Options controls Measure.
+type Options struct {
+	// Samples per case (default 10).
+	Samples int
+	// MinSampleTime is the minimum wall time per sample; the body is
+	// repeated (calibrated by doubling) until one sample takes at least
+	// this long (default 100ms).
+	MinSampleTime time.Duration
+	// Filter restricts the suite to matching case names (nil = all).
+	Filter *regexp.Regexp
+	// Label tags the run ("before", "baseline", "ci", ...).
+	Label string
+	// Progress, when non-nil, receives one line per finished case.
+	Progress func(string)
+}
+
+func (o *Options) defaults() {
+	if o.Samples <= 0 {
+		o.Samples = 10
+	}
+	if o.MinSampleTime <= 0 {
+		o.MinSampleTime = 100 * time.Millisecond
+	}
+}
+
+// Measure runs every (filtered) case and returns the populated Run.
+func Measure(cases []Case, opt Options) (*Run, error) {
+	opt.defaults()
+	run := &Run{
+		Schema:    1,
+		Label:     opt.Label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Samples:   opt.Samples,
+	}
+	for _, c := range cases {
+		if opt.Filter != nil && !opt.Filter.MatchString(c.Name) {
+			continue
+		}
+		e, err := measureCase(c, opt)
+		if err != nil {
+			return nil, fmt.Errorf("perf: case %s: %w", c.Name, err)
+		}
+		run.Entries = append(run.Entries, e)
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("%-28s %12.0f ns/trial %12.1f trials/sec %10.1f allocs/trial",
+				e.Name, e.NsPerTrial, e.TrialsPerSec, e.AllocsPerTrial))
+		}
+	}
+	return run, nil
+}
+
+func measureCase(c Case, opt Options) (Entry, error) {
+	body, err := c.Setup()
+	if err != nil {
+		return Entry{}, err
+	}
+	// Calibrate: double reps until one batch reaches MinSampleTime.
+	reps := 1
+	for {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			body()
+		}
+		if d := time.Since(start); d >= opt.MinSampleTime {
+			break
+		} else if d <= 0 {
+			reps *= 8
+		} else {
+			grow := int(float64(opt.MinSampleTime)/float64(d)) + 1
+			if grow > 8 {
+				grow = 8
+			}
+			if grow < 2 {
+				grow = 2
+			}
+			reps *= grow
+		}
+	}
+	e := Entry{Name: c.Name, Trials: c.Trials}
+	var ms0, ms1 runtime.MemStats
+	var totalAllocs, totalBytes float64
+	for s := 0; s < opt.Samples; s++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			body()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		trials := float64(reps * c.Trials)
+		e.SamplesNs = append(e.SamplesNs, float64(elapsed.Nanoseconds())/trials)
+		totalAllocs += float64(ms1.Mallocs-ms0.Mallocs) / trials
+		totalBytes += float64(ms1.TotalAlloc-ms0.TotalAlloc) / trials
+	}
+	e.NsPerTrial = median(e.SamplesNs)
+	if e.NsPerTrial > 0 {
+		e.TrialsPerSec = 1e9 / e.NsPerTrial
+	}
+	e.AllocsPerTrial = totalAllocs / float64(opt.Samples)
+	e.BytesPerTrial = totalBytes / float64(opt.Samples)
+	return e, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

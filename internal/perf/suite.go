@@ -1,0 +1,98 @@
+package perf
+
+import (
+	"fmt"
+
+	"phirel/internal/beam"
+	"phirel/internal/bench/all"
+	"phirel/internal/core"
+	"phirel/internal/fault"
+	"phirel/internal/state"
+)
+
+// Fixed suite parameters. Everything is seeded so every measurement runs
+// the exact same trial population — the statistics compare machines and
+// code versions, never inputs.
+const (
+	suiteSeed      = 1234
+	suiteBenchSeed = 1
+	suiteWorkers   = 4
+	injectTrials   = 24 // campaign trials per timed body call
+	beamTrials     = 64 // beam runs per timed body call
+	goldenTrials   = 1  // golden runs per timed body call
+)
+
+// beamSuite is the subset of workloads the beam experiment models.
+var beamSuite = []string{"DGEMM", "HotSpot", "LavaMD", "LUD"}
+
+// DefaultSuite returns the fixed-seed perf cases: one golden-run case per
+// workload (the BenchmarkWorkloads analog), one injection-campaign case per
+// workload × fault model, and one beam-campaign case per beam workload.
+func DefaultSuite() []Case {
+	var cases []Case
+	for _, name := range all.Suite {
+		name := name
+		cases = append(cases, Case{
+			Name:   name + "/golden",
+			Trials: goldenTrials,
+			Setup: func() (func(), error) {
+				inj, err := core.NewInjector(name, suiteBenchSeed, state.ByFrameThenVariable)
+				if err != nil {
+					return nil, err
+				}
+				return func() {
+					if res := inj.Runner.RunGolden(); res.Status != 0 {
+						panic(fmt.Sprintf("perf: %s golden run failed", name))
+					}
+				}, nil
+			},
+		})
+		for _, m := range fault.Models {
+			m := m
+			cases = append(cases, Case{
+				Name:   name + "/inject/" + m.String(),
+				Trials: injectTrials,
+				Setup: func() (func(), error) {
+					cfg := core.CampaignConfig{
+						Benchmark: name, N: injectTrials,
+						Seed: suiteSeed, BenchSeed: suiteBenchSeed,
+						Workers: suiteWorkers,
+						Models:  []fault.Model{m},
+					}
+					// Fail fast on a broken config before timing starts.
+					if _, err := core.RunCampaign(cfg); err != nil {
+						return nil, err
+					}
+					return func() {
+						if _, err := core.RunCampaign(cfg); err != nil {
+							panic(fmt.Sprintf("perf: %s/%s campaign: %v", name, m, err))
+						}
+					}, nil
+				},
+			})
+		}
+	}
+	for _, name := range beamSuite {
+		name := name
+		cases = append(cases, Case{
+			Name:   name + "/beam",
+			Trials: beamTrials,
+			Setup: func() (func(), error) {
+				cfg := beam.Config{
+					Benchmark: name, Runs: beamTrials,
+					Seed: suiteSeed, BenchSeed: suiteBenchSeed,
+					Workers: suiteWorkers,
+				}
+				if _, err := beam.Run(cfg); err != nil {
+					return nil, err
+				}
+				return func() {
+					if _, err := beam.Run(cfg); err != nil {
+						panic(fmt.Sprintf("perf: %s beam campaign: %v", name, err))
+					}
+				}, nil
+			},
+		})
+	}
+	return cases
+}

@@ -38,6 +38,10 @@ type Armable interface {
 	Arm(delay int, m fault.Model, r *stats.RNG) *Deferred
 	// Disarm cancels any pending corruption (called by Reset).
 	Disarm()
+	// Armed reports whether a deferred corruption is pending. Kernels use
+	// it (via Registry.AnyArmed, at quiescent points only) to run plain
+	// unarmed fast paths that skip the countdown-driving Loads.
+	Armed() bool
 }
 
 // Int is a corruptible scalar integer variable (loop bounds, indices,
@@ -106,6 +110,9 @@ func (c *Int) Arm(delay int, m fault.Model, r *stats.RNG) *Deferred {
 
 // Disarm implements Armable.
 func (c *Int) Disarm() { c.pend.Store(nil) }
+
+// Armed implements Armable.
+func (c *Int) Armed() bool { return c.pend.Load() != nil }
 
 func (c *Int) fire(d *deferred) {
 	if d.count.Add(-1) != 0 {
@@ -178,6 +185,9 @@ func (c *F64) Arm(delay int, m fault.Model, r *stats.RNG) *Deferred {
 // Disarm implements Armable.
 func (c *F64) Disarm() { c.pend.Store(nil) }
 
+// Armed implements Armable.
+func (c *F64) Armed() bool { return c.pend.Load() != nil }
+
 func (c *F64) fire(d *deferred) {
 	if d.count.Add(-1) != 0 {
 		return
@@ -247,6 +257,9 @@ func (c *F32) Arm(delay int, m fault.Model, r *stats.RNG) *Deferred {
 
 // Disarm implements Armable.
 func (c *F32) Disarm() { c.pend.Store(nil) }
+
+// Armed implements Armable.
+func (c *F32) Armed() bool { return c.pend.Load() != nil }
 
 func (c *F32) fire(d *deferred) {
 	if d.count.Add(-1) != 0 {

@@ -141,6 +141,21 @@ func (g *Registry) DisarmAll() {
 	}
 }
 
+// AnyArmed reports whether any live site has a pending deferred corruption.
+// Orchestrator-only, at quiescent points: kernels call it between sections
+// to decide whether the unarmed fast path is safe (nothing can fire, so
+// skipping countdown-driving Loads is unobservable).
+func (g *Registry) AnyArmed() bool {
+	for _, f := range g.frames {
+		for _, s := range f.sites {
+			if a, ok := s.(Armable); ok && a.Armed() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Live returns all currently visible sites, global first.
 func (g *Registry) Live() []Site {
 	var out []Site

@@ -34,6 +34,15 @@ func splitmix64(x *uint64) uint64 {
 // of seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitialises the generator in place, exactly as NewRNG(seed)
+// would. It exists so hot loops can reuse one RNG value per worker instead
+// of heap-allocating a fresh generator per trial; the output stream after
+// Reseed(s) is bit-identical to NewRNG(s).
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -43,7 +52,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
