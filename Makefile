@@ -92,13 +92,14 @@ shard-demo:
 # correctness of merged artifacts and their serving: internal/distrib
 # (supervision, launchers, partial validation), internal/fleet (sharding
 # algebra, merge validation, artifact readers), and internal/serve (the
-# sweep service's cache/coalesce/streaming contract). The floors sit below
-# current coverage (~80% / ~89% / ~89%; the kubectl exec paths need a live
+# sweep service's cache/coalesce/streaming contract, now including the
+# partial-overlap planner, eviction, and stats). The floors sit below
+# current coverage (~82% / ~89% / ~88%; the kubectl exec paths need a live
 # cluster) so they catch erosion, not noise. CI's cover job runs this and
 # uploads the HTML reports as artifacts.
-DISTRIB_COVER_FLOOR ?= 72
+DISTRIB_COVER_FLOOR ?= 75
 FLEET_COVER_FLOOR ?= 85
-SERVE_COVER_FLOOR ?= 82
+SERVE_COVER_FLOOR ?= 84
 
 cover:
 	$(GO) test -coverprofile=cover-distrib.out ./internal/distrib/
@@ -129,9 +130,13 @@ fuzz:
 # submissions of duplicate specs against a live serve.Server must coalesce
 # and cache-hit (exactly one computation per distinct spec) and every
 # request for the same sweep id must return byte-identical artifact bytes.
+# The overlap scenarios drive the partial-overlap cache: an N-trial sweep
+# followed by the same question at 2N must be admitted as a partial that
+# computes exactly the missing N trials and folds to the monolithic bytes,
+# and the LRU size bound must evict atomically (evicted ids 404).
 # -count=1 defeats the test cache so CI always exercises the live path.
 serve-check:
-	$(GO) test -count=1 -v -run 'TestServeLoadSmoke|TestServeCacheHitByteIdentical|TestServeCoalesce|TestServePersistentCache' \
+	$(GO) test -count=1 -v -run 'TestServeLoadSmoke|TestServeCacheHitByteIdentical|TestServeCoalesce|TestServePersistentCache|TestServeOverlapPartial|TestServeOverlapProperty|TestServeEviction' \
 		./internal/serve/
 
 # Shard workers are exec'd as subprocesses, so the fleet targets build a

@@ -14,11 +14,15 @@
 //	          [-policies by-frame] [-campaign-seed 1701] [-workers 8]
 //	          [-beam-runs 6000] [-beam-devices KNC3120A] [-beam-ecc-ablation]
 //	          [-shard k/K] [-out sweep.json]
-//	phi-bench -spec spec.json [-shard k/K] [-progress-jsonl] [-out -] [-frame-out]
+//	phi-bench -spec spec.json [-shard k/K | -plan k/K:injOff+injN:beamOff+beamN]
+//	          [-progress-jsonl] [-out -] [-frame-out]
 //
 // With -shard k/K (1-based) the sweep runs only the k-th of K deterministic
 // slices of every cell's trials; the K partials fold back into the
-// monolithic artifact, byte for byte, with cmd/phi-merge.
+// monolithic artifact, byte for byte, with cmd/phi-merge. With -plan the
+// shard's trial ranges are explicit instead of the balanced split — the
+// partial-overlap cache protocol (internal/distrib.FormatPlanArg), where
+// fresh workers compute exactly the ranges a cached prefix is missing.
 //
 // With -spec the whole sweep grid comes from a fleet spec JSON file ("-"
 // reads stdin) instead of the grid flags — the shard-worker protocol
@@ -57,6 +61,7 @@ func main() {
 
 		sweep     = flag.Bool("sweep", false, "run a fleet sweep instead of golden runs")
 		shardArg  = flag.String("shard", "", "sweep: run shard k/K of every cell's trials (1-based, e.g. 2/3); merge partials with phi-merge")
+		planArg   = flag.String("plan", "", "sweep: run an explicit shard plan k/K:injOff+injN:beamOff+beamN (the partial-overlap protocol; excludes -shard)")
 		out       = flag.String("out", "", "sweep: write SweepResult JSON here ('-' = stdout, suppressing tables)")
 		specArg   = flag.String("spec", "", "sweep: read the whole sweep spec from this fleet spec JSON file ('-' = stdin) instead of the grid flags; implies -sweep")
 		progJSONL = flag.Bool("progress-jsonl", false, "sweep: emit machine-readable JSONL progress events on stderr (the phi-fleet protocol)")
@@ -78,7 +83,7 @@ func main() {
 	if *sweep || *specArg != "" {
 		runSweep(sweepOpts{
 			grid: &grid, out: *out,
-			shard: *shardArg, spec: *specArg, progressJSONL: *progJSONL,
+			shard: *shardArg, plan: *planArg, spec: *specArg, progressJSONL: *progJSONL,
 			frameOut: *frameOut,
 		})
 		return
@@ -117,6 +122,7 @@ type sweepOpts struct {
 	grid          *cli.SweepFlags
 	out           string
 	shard         string
+	plan          string
 	spec          string
 	progressJSONL bool
 	frameOut      bool
@@ -141,11 +147,22 @@ func runSweep(o sweepOpts) {
 		fatal(err)
 	}
 
+	if o.shard != "" && o.plan != "" {
+		fatal(fmt.Errorf("-shard and -plan are mutually exclusive"))
+	}
 	k, count := 0, 1
+	var plan *fleet.ShardPlan
 	if o.shard != "" {
 		if k, count, err = parseShard(o.shard); err != nil {
 			fatal(err)
 		}
+	}
+	if o.plan != "" {
+		p, err := distrib.ParsePlanArg(o.plan)
+		if err != nil {
+			fatal(err)
+		}
+		plan, k, count = &p, p.Index, p.Count
 	}
 	if o.progressJSONL {
 		enc := json.NewEncoder(os.Stderr)
@@ -164,9 +181,12 @@ func runSweep(o sweepOpts) {
 	defer stop()
 	start := time.Now()
 	var res *fleet.SweepResult
-	if o.shard != "" {
+	switch {
+	case plan != nil:
+		res, err = s.RunPlan(ctx, *plan)
+	case o.shard != "":
 		res, err = s.RunShard(ctx, k, count)
-	} else {
+	default:
 		res, err = s.Run(ctx)
 	}
 	if err != nil {

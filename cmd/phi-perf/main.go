@@ -13,6 +13,12 @@
 // Assemble the committed artifact from recorded runs:
 //
 //	phi-perf -assemble BENCH_7.json -issue 7 -before before.json -after after.json
+//
+// Measure the sweep service path instead (cold submission vs exact cache
+// hit vs partial-overlap hit, through the real HTTP handler with
+// in-process workers):
+//
+//	phi-perf -serve -samples 10 -serve-n 24 -out serve-run.json
 package main
 
 import (
@@ -36,6 +42,8 @@ func main() {
 		check      = flag.Bool("check", false, "exit 1 when the comparison finds a regression")
 		alpha      = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney U test")
 		margin     = flag.Float64("margin", 0.10, "median slowdown tolerated before a significant delta is a regression")
+		serveMode  = flag.Bool("serve", false, "measure the sweep service path (cold vs exact cache hit vs partial-overlap POST latency) instead of the hot-path suite")
+		serveN     = flag.Int("serve-n", 24, "serve: per-cell trial count of the cold sweep; the partial request doubles it")
 		assemble   = flag.String("assemble", "", "write a BENCH file assembled from -before/-after instead of measuring")
 		beforePath = flag.String("before", "", "pre-optimization run JSON for -assemble")
 		afterPath  = flag.String("after", "", "baseline run JSON for -assemble")
@@ -43,6 +51,13 @@ func main() {
 		notes      = flag.String("notes", "", "notes recorded by -assemble")
 	)
 	flag.Parse()
+	if *serveMode {
+		if err := runServe(*out, *label, *samples, *serveN); err != nil {
+			fmt.Fprintln(os.Stderr, "phi-perf:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *label, *samples, *sampleTime, *filter, *baseline, *check,
 		*alpha, *margin, *assemble, *beforePath, *afterPath, *issue, *notes); err != nil {
 		fmt.Fprintln(os.Stderr, "phi-perf:", err)

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	_ "phirel/internal/bench/all"
+	"phirel/internal/distrib"
+	"phirel/internal/fault"
+	"phirel/internal/fleet"
+	"phirel/internal/perf"
+	"phirel/internal/serve"
+)
+
+// runServe measures the sweep service path end to end through the real
+// HTTP handler with in-process workers: for each sample a fresh question
+// is submitted cold, resubmitted (exact cache hit), and then asked again
+// at double the trial count (partial-overlap hit). Latencies land in a
+// perf.Run with one entry per path, so BENCH files and FormatDeltas work
+// on service numbers exactly as on hot-path numbers. The partial path is
+// verified, not just timed: every doubled request must be admitted as
+// partial and compute exactly the missing trials, or the measurement
+// fails.
+func runServe(out, label string, samples, n int) error {
+	if samples <= 0 {
+		samples = 10
+	}
+	dir, err := os.MkdirTemp("", "phi-perf-serve-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	launcher := distrib.LauncherFunc(func(ctx context.Context, task distrib.Task, stderr io.Writer) error {
+		spec, err := fleet.ReadSpecFile(task.SpecPath)
+		if err != nil {
+			return err
+		}
+		var res *fleet.SweepResult
+		if task.Plan != nil {
+			res, err = spec.RunPlan(ctx, *task.Plan)
+		} else {
+			res, err = spec.RunShard(ctx, task.Shard, task.Count)
+		}
+		if err != nil {
+			return err
+		}
+		return res.WriteFile(task.OutPath)
+	})
+	sched, err := distrib.NewScheduler(distrib.Options{
+		Shards: 2, Launcher: launcher, Dir: dir,
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		return err
+	}
+	defer sched.Close()
+	ts := httptest.NewServer(serve.New(sched, serve.WithCacheDir(dir+"/cache")).Handler())
+	defer ts.Close()
+
+	post := func(spec fleet.Sweep) (serve.Status, time.Duration, error) {
+		var b bytes.Buffer
+		if err := spec.WriteSpec(&b); err != nil {
+			return serve.Status{}, 0, err
+		}
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", &b)
+		if err != nil {
+			return serve.Status{}, 0, err
+		}
+		var st serve.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return serve.Status{}, 0, fmt.Errorf("POST %d: %w", resp.StatusCode, err)
+		}
+		first := st
+		for st.State != "done" {
+			if st.State == "failed" || st.State == "cancelled" {
+				return st, 0, fmt.Errorf("sweep %.12s reached %s: %s", st.ID, st.State, st.Error)
+			}
+			time.Sleep(2 * time.Millisecond)
+			r, err := http.Get(ts.URL + "/v1/sweeps/" + st.ID)
+			if err != nil {
+				return st, 0, err
+			}
+			err = json.NewDecoder(r.Body).Decode(&st)
+			r.Body.Close()
+			if err != nil {
+				return st, 0, err
+			}
+		}
+		// The admission classification (partial, trial split) is on the POST
+		// response; the poll loop only adds the terminal state.
+		first.State = st.State
+		return first, time.Since(start), nil
+	}
+
+	specFor := func(i int) fleet.Sweep {
+		return fleet.Sweep{
+			Benchmarks: []string{"DGEMM"},
+			Models:     []fault.Model{fault.Single},
+			N:          n,
+			Seed:       uint64(9000 + i),
+			BenchSeed:  1,
+			Workers:    1,
+		}
+	}
+
+	lat := map[string][]float64{}
+	for i := 0; i < samples; i++ {
+		small := specFor(i)
+		big := small
+		big.N *= 2
+
+		st, d, err := post(small)
+		if err != nil {
+			return err
+		}
+		if st.Cached || st.Partial {
+			return fmt.Errorf("sample %d: cold submission was served from cache: %+v", i, st)
+		}
+		lat["serve/cold"] = append(lat["serve/cold"], float64(d.Nanoseconds()))
+
+		st, d, err = post(small)
+		if err != nil {
+			return err
+		}
+		if !st.Cached {
+			return fmt.Errorf("sample %d: repeat submission missed the cache: %+v", i, st)
+		}
+		lat["serve/exact-hit"] = append(lat["serve/exact-hit"], float64(d.Nanoseconds()))
+
+		// The control: the same 2N-sized question with no usable prefix
+		// (fresh seed family) — what the partial request would cost without
+		// the overlap planner.
+		control := specFor(9000 + i)
+		control.N = big.N
+		st, d, err = post(control)
+		if err != nil {
+			return err
+		}
+		if st.Cached || st.Partial {
+			return fmt.Errorf("sample %d: control submission was served from cache: %+v", i, st)
+		}
+		lat["serve/cold-2x"] = append(lat["serve/cold-2x"], float64(d.Nanoseconds()))
+
+		st, d, err = post(big)
+		if err != nil {
+			return err
+		}
+		if !st.Partial || st.TrialsComputed != st.TrialsFromCache || st.TrialsComputed == 0 {
+			return fmt.Errorf("sample %d: doubled submission was not a half-cached partial: %+v", i, st)
+		}
+		lat["serve/partial-hit"] = append(lat["serve/partial-hit"], float64(d.Nanoseconds()))
+		fmt.Printf("sample %2d: cold %s, exact-hit %s, cold-2x %s, partial-hit %s (2N request computed %d of %d trials)\n",
+			i, time.Duration(lat["serve/cold"][i]).Round(time.Microsecond),
+			time.Duration(lat["serve/exact-hit"][i]).Round(time.Microsecond),
+			time.Duration(lat["serve/cold-2x"][i]).Round(time.Microsecond),
+			time.Duration(lat["serve/partial-hit"][i]).Round(time.Microsecond),
+			st.TrialsComputed, st.TrialsComputed+st.TrialsFromCache)
+	}
+
+	run := &perf.Run{
+		Schema:    1,
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Samples:   samples,
+	}
+	for _, name := range []string{"serve/cold", "serve/exact-hit", "serve/cold-2x", "serve/partial-hit"} {
+		med := median(lat[name])
+		run.Entries = append(run.Entries, perf.Entry{
+			Name: name, Trials: 1, SamplesNs: lat[name],
+			NsPerTrial: med, TrialsPerSec: 1e9 / med,
+		})
+		fmt.Printf("%-20s median %s per request\n", name, time.Duration(med).Round(time.Microsecond))
+	}
+	if out != "" {
+		if err := perf.WriteJSON(out, run); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+	}
+	return nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 0 {
+		return 0
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -6,10 +6,16 @@
 // artifact cache is content-addressed: a repeated question is answered
 // from cache with zero compute, byte-identical to the first answer, and
 // identical concurrent submissions coalesce onto one in-flight job.
+// Overlapping questions reuse cached prefixes: a sweep whose base-equal
+// smaller sibling is cached computes only the missing trial ranges (the
+// partial-overlap planner; see internal/serve). -cache-max-bytes bounds
+// the cache with LRU eviction, -admission-log records each submission's
+// cache outcome, and GET /v1/stats serves the cumulative counters.
 //
 // Usage:
 //
 //	phi-serve -addr :8421 -cache-dir serve-cache -shards 4
+//	phi-serve -cache-max-bytes 1073741824 -admission-log admissions.jsonl
 //	phi-serve -addr :8421 -worker-cmd bin/phi-bench -max-concurrent 8
 //	phi-serve -ssh node1,node2 -ssh-bin /opt/phirel/phi-bench
 //	phi-serve -k8s -k8s-image ghcr.io/you/phirel:latest
@@ -50,10 +56,12 @@ func main() {
 	var k8s cli.K8sFlags
 	k8s.Register(flag.CommandLine)
 	var (
-		addr     = flag.String("addr", ":8421", "listen address")
-		cacheDir = flag.String("cache-dir", "serve-cache", "persistent content-addressed artifact cache directory ('' = in-memory only)")
-		dir      = flag.String("dir", "", "working directory for per-sweep job subdirectories (default: a temp dir, removed on exit)")
-		quiet    = flag.Bool("quiet", false, "suppress service and supervisor lifecycle lines on stderr")
+		addr          = flag.String("addr", ":8421", "listen address")
+		cacheDir      = flag.String("cache-dir", "serve-cache", "persistent content-addressed artifact cache directory ('' = in-memory only)")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 0, "bound the artifact cache to this many bytes on disk, evicting least-recently-used artifacts (0 = unbounded)")
+		admissionLog  = flag.String("admission-log", "", "append one JSON line per submission here: hash, base hash, full/partial/miss outcome, trials from cache vs computed")
+		dir           = flag.String("dir", "", "working directory for per-sweep job subdirectories (default: a temp dir, removed on exit)")
+		quiet         = flag.Bool("quiet", false, "suppress service and supervisor lifecycle lines on stderr")
 	)
 	flag.Parse()
 
@@ -98,6 +106,12 @@ func main() {
 	var serveOpts []serve.Option
 	if *cacheDir != "" {
 		serveOpts = append(serveOpts, serve.WithCacheDir(*cacheDir))
+	}
+	if *cacheMaxBytes > 0 {
+		serveOpts = append(serveOpts, serve.WithCacheMaxBytes(*cacheMaxBytes))
+	}
+	if *admissionLog != "" {
+		serveOpts = append(serveOpts, serve.WithAdmissionLog(*admissionLog))
 	}
 	serveOpts = append(serveOpts, serve.WithLogf(logf))
 	srv := serve.New(sched, serveOpts...)

@@ -74,6 +74,12 @@ type Task struct {
 	// Attempt is the 0-based attempt number; the supervisor increments it
 	// on every relaunch.
 	Attempt int
+	// Plan, when non-nil, overrides the balanced k-of-K split with explicit
+	// trial ranges (phi-bench -plan): the worker runs exactly these ranges,
+	// and the validator requires the partial's recorded plan to match. Its
+	// Index/Count must agree with Shard/Count. The partial-overlap cache
+	// uses this to compute only the ranges a cached prefix is missing.
+	Plan *fleet.ShardPlan
 }
 
 // ShardArg renders the task's position in phi-bench's 1-based -shard form.
@@ -120,4 +126,54 @@ func Plan(dir string, spec fleet.Sweep, shards int) ([]Task, error) {
 		}
 	}
 	return tasks, nil
+}
+
+// PlanWithPrefix lays out a partially-cached fan-out in dir: the cached
+// artifact — a complete, base-equal sweep covering a strict prefix of
+// spec's trial space — is sliced into shard-0's partial and written
+// straight to its canonical partial path (no worker ever runs for it), and
+// the returned tasks are the `fresh` explicit-plan workers that compute
+// only the missing trial ranges. The returned paths are every partial of
+// the fan-out — prefix first, then the fresh shards — in merge order;
+// fleet.MergeFiles over them reconstructs the full sweep byte-identical to
+// a monolithic run.
+func PlanWithPrefix(dir string, spec fleet.Sweep, cached *fleet.SweepResult, fresh int) ([]Task, []string, error) {
+	if cached == nil {
+		return nil, nil, fmt.Errorf("distrib: no cached artifact to plan around")
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("distrib: %w", err)
+	}
+	plans, err := spec.PlanWithPrefix(cached.Spec.N, cached.Spec.BeamRuns, fresh)
+	if err != nil {
+		return nil, nil, err
+	}
+	prefix, err := fleet.SliceResult(cached, spec, plans[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	specPath := filepath.Join(dir, SpecFileName)
+	if err := spec.WriteSpecFile(specPath); err != nil {
+		return nil, nil, err
+	}
+	count := len(plans)
+	paths := make([]string, count)
+	paths[0] = PartialPath(dir, 0, count)
+	if err := prefix.WriteFile(paths[0]); err != nil {
+		return nil, nil, err
+	}
+	tasks := make([]Task, 0, count-1)
+	for k := 1; k < count; k++ {
+		plan := plans[k]
+		paths[k] = PartialPath(dir, k, count)
+		tasks = append(tasks, Task{
+			Shard:    k,
+			Count:    count,
+			SpecPath: specPath,
+			OutPath:  paths[k],
+			Plan:     &plan,
+		})
+	}
+	return tasks, paths, nil
 }

@@ -31,19 +31,23 @@ func (f LauncherFunc) Launch(ctx context.Context, task Task, stderr io.Writer) e
 // WorkerArgs returns the phi-bench argument list that runs task. With
 // streamIO the spec is read from stdin and the partial written to stdout
 // ("-" on both flags) — the transport SSHLauncher uses so no file ever
-// needs to cross machines out of band.
+// needs to cross machines out of band. An explicit-plan task rides the
+// -plan flag (shell-safe, see FormatPlanArg) instead of -shard.
 func WorkerArgs(task Task, streamIO bool) []string {
 	spec, out := task.SpecPath, task.OutPath
 	if streamIO {
 		spec, out = "-", "-"
 	}
-	return []string{
-		"-sweep",
-		"-spec", spec,
-		"-shard", task.ShardArg(),
+	args := []string{"-sweep", "-spec", spec}
+	if task.Plan != nil {
+		args = append(args, "-plan", FormatPlanArg(*task.Plan))
+	} else {
+		args = append(args, "-shard", task.ShardArg())
+	}
+	return append(args,
 		"-progress-jsonl",
 		"-out", out,
-	}
+	)
 }
 
 // waitDelay bounds how long a launcher waits for a killed worker's pipes

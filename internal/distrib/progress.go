@@ -53,16 +53,18 @@ type Progress struct {
 // progressMux folds per-shard progress events into fan-out-wide samples.
 // One mux serves the whole fan-out; the per-attempt stderr demux feeds it.
 // Samples are emitted with the lock held, so sink calls are serialised —
-// the same contract fleet.Sweep.Progress gives.
+// the same contract fleet.Sweep.Progress gives. Shard indices may be
+// sparse: a prefix-cached fan-out launches workers 1..S of an (S+1)-way
+// plan, shard 0 being the cached partial that never runs.
 type progressMux struct {
-	mu       sync.Mutex
-	done     []int
-	perShard int
-	sink     func(Progress)
+	mu    sync.Mutex
+	done  map[int]int
+	total int
+	sink  func(Progress)
 }
 
-func newProgressMux(shards, cellsPerShard int, sink func(Progress)) *progressMux {
-	return &progressMux{done: make([]int, shards), perShard: cellsPerShard, sink: sink}
+func newProgressMux(workers, cellsPerShard int, sink func(Progress)) *progressMux {
+	return &progressMux{done: map[int]int{}, total: workers * cellsPerShard, sink: sink}
 }
 
 // report records shard's latest done count and emits an aggregate sample.
@@ -77,7 +79,7 @@ func (m *progressMux) report(shard, done int) {
 	for _, d := range m.done {
 		sum += d
 	}
-	m.sink(Progress{Shard: shard, Done: sum, Total: m.perShard * len(m.done)})
+	m.sink(Progress{Shard: shard, Done: sum, Total: m.total})
 }
 
 // reset zeroes a shard's tally when its worker is relaunched, so aggregate

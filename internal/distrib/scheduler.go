@@ -237,19 +237,47 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 // and returns immediately; the job runs as budget slots free up. The spec
 // must plan cleanly at the scheduler's shard width.
 func (s *Scheduler) Submit(spec fleet.Sweep) (*Job, error) {
+	id, dir, err := s.newJobDir()
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(spec, id, dir, id+": ")
+}
+
+// SubmitWithPrefix queues spec as a job whose shard 0 is already answered:
+// cached — a complete, base-equal artifact covering a strict prefix of
+// spec's trial space — is sliced into the job's first partial on disk, and
+// only the missing trial ranges fan out as explicit-plan workers (the
+// scheduler's full shard width splits the remainder). The merged result is
+// byte-identical to a monolithic run of spec; the job's progress Total
+// counts only the fresh cells actually computed.
+func (s *Scheduler) SubmitWithPrefix(spec fleet.Sweep, cached *fleet.SweepResult) (*Job, error) {
+	id, dir, err := s.newJobDir()
+	if err != nil {
+		return nil, err
+	}
+	tasks, paths, err := PlanWithPrefix(dir, spec, cached, s.opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return s.start(spec, id, dir, id+": ", tasks, paths)
+}
+
+// newJobDir mints the next job id and creates its working directory.
+func (s *Scheduler) newJobDir() (string, string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, errors.New("distrib: scheduler is closed")
+		return "", "", errors.New("distrib: scheduler is closed")
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%d", s.seq)
 	s.mu.Unlock()
 	dir := filepath.Join(s.opts.Dir, id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("distrib: %w", err)
+		return "", "", fmt.Errorf("distrib: %w", err)
 	}
-	return s.submit(spec, id, dir, id+": ")
+	return id, dir, nil
 }
 
 // submit plans the job in dir and starts it. logPrefix decorates Logf
@@ -260,6 +288,17 @@ func (s *Scheduler) submit(spec fleet.Sweep, id, dir, logPrefix string) (*Job, e
 	if err != nil {
 		return nil, err
 	}
+	paths := make([]string, len(tasks))
+	for i, t := range tasks {
+		paths[i] = t.OutPath
+	}
+	return s.start(spec, id, dir, logPrefix, tasks, paths)
+}
+
+// start registers the planned job and launches its supervisor. mergePaths
+// are every partial of the fan-out in merge order — the tasks' outputs
+// plus any pre-written cached partial.
+func (s *Scheduler) start(spec fleet.Sweep, id, dir, logPrefix string, tasks []Task, mergePaths []string) (*Job, error) {
 	cellsPerShard := len(spec.Cells()) + len(spec.BeamCells())
 	jctx, jcancel := context.WithCancel(s.ctx)
 	job := &Job{
@@ -267,7 +306,7 @@ func (s *Scheduler) submit(spec fleet.Sweep, id, dir, logPrefix string) (*Job, e
 		dir:      dir,
 		cancel:   jcancel,
 		state:    JobQueued,
-		total:    cellsPerShard * s.opts.Shards,
+		total:    cellsPerShard * len(tasks),
 		subs:     map[int]chan Progress{},
 		finished: make(chan struct{}),
 	}
@@ -290,12 +329,12 @@ func (s *Scheduler) submit(spec fleet.Sweep, id, dir, logPrefix string) (*Job, e
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.runJob(jctx, job, spec, tasks, tickets, logPrefix)
+	go s.runJob(jctx, job, spec, tasks, tickets, logPrefix, mergePaths)
 	return job, nil
 }
 
 // runJob supervises one job's fan-out to a terminal state.
-func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tasks []Task, tickets []*ticket, logPrefix string) {
+func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tasks []Task, tickets []*ticket, logPrefix string, mergePaths []string) {
 	defer s.wg.Done()
 	opts := s.opts
 	if logPrefix != "" && opts.Logf != nil {
@@ -313,21 +352,21 @@ func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tas
 		}
 	}
 	cellsPerShard := len(spec.Cells()) + len(spec.BeamCells())
-	mux := newProgressMux(opts.Shards, cellsPerShard, sink)
+	mux := newProgressMux(len(tasks), cellsPerShard, sink)
 
 	var wg sync.WaitGroup
 	failures := make([]*shardError, len(tasks))
 	for i, t := range tasks {
 		wg.Add(1)
-		go func(t Task, tk *ticket) {
+		go func(i int, t Task, tk *ticket) {
 			defer wg.Done()
 			if s.budget.wait(jctx, tk) != nil {
 				return // job (or scheduler) cancelled while queued
 			}
 			defer s.budget.release()
 			job.markRunning()
-			failures[t.Shard] = superviseShard(jctx, t, opts, mux)
-		}(t, tickets[i])
+			failures[i] = superviseShard(jctx, t, opts, mux)
+		}(i, t, tickets[i])
 	}
 	wg.Wait()
 
@@ -340,15 +379,11 @@ func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tas
 	switch {
 	case len(msgs) > 0:
 		job.finish(JobFailed, nil, fmt.Errorf("distrib: %d of %d shards failed permanently:\n%s",
-			len(msgs), opts.Shards, strings.Join(msgs, "\n")))
+			len(msgs), len(tasks), strings.Join(msgs, "\n")))
 	case jctx.Err() != nil:
 		job.finish(JobCancelled, nil, context.Canceled)
 	default:
-		paths := make([]string, len(tasks))
-		for i, t := range tasks {
-			paths[i] = t.OutPath
-		}
-		merged, err := fleet.MergeFiles(paths...)
+		merged, err := fleet.MergeFiles(mergePaths...)
 		if err != nil {
 			job.finish(JobFailed, nil, fmt.Errorf("distrib: folding shard partials: %w", err))
 			return

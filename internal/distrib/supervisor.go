@@ -148,5 +148,12 @@ func validatePartial(t Task) error {
 		return fmt.Errorf("worker wrote a partial for shard %d/%d, want %s",
 			r.Shard.Index+1, r.Shard.Count, t.ShardArg())
 	}
+	// An explicit-plan worker must have run exactly the ranges it was
+	// handed: a partial with the right position but the wrong ranges would
+	// survive until the merge, where the tiling check rejects the whole job
+	// instead of naming the one bad worker.
+	if t.Plan != nil && *r.Shard != *t.Plan {
+		return fmt.Errorf("worker ran plan %+v, want %+v", *r.Shard, *t.Plan)
+	}
 	return nil
 }

@@ -18,6 +18,7 @@ var hashVectors = []struct {
 	name string
 	spec Sweep
 	hash string
+	base string
 }{
 	{
 		name: "single-cell injection sweep",
@@ -28,6 +29,7 @@ var hashVectors = []struct {
 			N:          600, Seed: 1701, BenchSeed: 1,
 		},
 		hash: "134d6cf5074a87619b9d165485a6c0c04b7d6061a55f6a61c6a61fdeec1fbe79",
+		base: "b12900989e024cb61e163c8b4c2b91f2cf46692eaa0a8ac03f7a0351855a0cb0",
 	},
 	{
 		name: "mixed injection+beam sweep with ECC ablation",
@@ -40,6 +42,7 @@ var hashVectors = []struct {
 			BeamECCAblation: true,
 		},
 		hash: "428a425925601f81cbd6b0b341846c99c1c560d2b7db08e3893ed8ef14ec2d9c",
+		base: "7b1be1e3c815e2c05a6859b1f4ef5fdaea8e0f71fb40c4342e911b0bbee674dc",
 	},
 	{
 		name: "beam-only sweep",
@@ -48,6 +51,7 @@ var hashVectors = []struct {
 			Seed: 9, BenchSeed: 3,
 		},
 		hash: "e72b2f9e9d8a4c588ba0d7d130b69fdb65541290a9141b8444c9d073e8f0a4c8",
+		base: "cbce9b8f97c659ebfe1edb8d4c700a8511beec7bf6c1b9774223530547c32920",
 	},
 }
 
@@ -57,6 +61,63 @@ func TestCanonicalHashGoldenVectors(t *testing.T) {
 			t.Errorf("%s: CanonicalHash = %s, want %s (spec encoding or normalization changed — this invalidates every cached artifact)",
 				v.name, got, v.hash)
 		}
+	}
+}
+
+// TestCanonicalHashBaseGoldenVectors locks the base hash the same way: it
+// is the overlap index key of the partial-overlap cache, so changing it
+// silently orphans every cached artifact's overlap serviceability.
+func TestCanonicalHashBaseGoldenVectors(t *testing.T) {
+	for _, v := range hashVectors {
+		if got := v.spec.CanonicalHashBase(); got != v.base {
+			t.Errorf("%s: CanonicalHashBase = %s, want %s (base encoding changed — this orphans the overlap index)",
+				v.name, got, v.base)
+		}
+	}
+}
+
+// TestCanonicalHashBaseIgnoresTrialCounts: specs differing only in how many
+// trials they ask for share a base — the whole point of the overlap index —
+// while remaining distinct full hashes.
+func TestCanonicalHashBaseIgnoresTrialCounts(t *testing.T) {
+	small := hashVectors[1].spec
+	big := small
+	big.N *= 2
+	big.BeamRuns *= 2
+	big.Workers = 16
+	if small.CanonicalHashBase() != big.CanonicalHashBase() {
+		t.Error("N/BeamRuns/Workers changed the base hash — overlapping sweeps would never find each other")
+	}
+	if small.CanonicalHash() == big.CanonicalHash() {
+		t.Error("different trial counts share a full hash — distinct artifacts would collide")
+	}
+}
+
+// TestCanonicalHashBaseSeparatesGrids: anything that changes the grid or
+// its seeds must change the base — a base collision would let the planner
+// serve trials from a different experiment.
+func TestCanonicalHashBaseSeparatesGrids(t *testing.T) {
+	base := hashVectors[0].spec
+	mutations := map[string]func(*Sweep){
+		"Seed":       func(s *Sweep) { s.Seed++ },
+		"BenchSeed":  func(s *Sweep) { s.BenchSeed++ },
+		"Benchmarks": func(s *Sweep) { s.Benchmarks = []string{"LavaMD"} },
+		"Models":     func(s *Sweep) { s.Models = []fault.Model{fault.Zero} },
+	}
+	for name, mutate := range mutations {
+		s := base
+		mutate(&s)
+		if s.CanonicalHashBase() == base.CanonicalHashBase() {
+			t.Errorf("mutating %s did not change the base hash", name)
+		}
+	}
+	// Normalization runs with the real trial counts, so an injection-only
+	// and a beam-carrying defaulted sweep resolve different grids and never
+	// share a base.
+	injOnly := Sweep{N: 100, Seed: 5, BenchSeed: 1}
+	beamOnly := Sweep{BeamRuns: 100, Seed: 5, BenchSeed: 1}
+	if injOnly.CanonicalHashBase() == beamOnly.CanonicalHashBase() {
+		t.Error("injection-only and beam-only defaulted sweeps share a base hash")
 	}
 }
 

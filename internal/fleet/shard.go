@@ -74,16 +74,94 @@ func (s Sweep) RunShard(ctx context.Context, k, count int) (*SweepResult, error)
 	return s.run(ctx, &plan)
 }
 
+// CheckPlan reports the first way plan is not a well-formed shard of this
+// sweep: a position outside 0..Count-1, or a trial range that escapes the
+// sweep's [0, N) injection or [0, BeamRuns) beam space. It deliberately
+// does not require the balanced Plan split — explicit plans are how the
+// partial-overlap cache computes exactly the trial ranges a cached prefix
+// is missing.
+func (s Sweep) CheckPlan(plan ShardPlan) error {
+	ns := s.normalized()
+	if plan.Count < 1 || plan.Index < 0 || plan.Index >= plan.Count {
+		return fmt.Errorf("fleet: shard %d/%d out of range", plan.Index+1, plan.Count)
+	}
+	if plan.Injection.N < 0 || plan.Injection.Offset < 0 || !(TrialRange{N: ns.N}).Covers(plan.Injection) {
+		return fmt.Errorf("fleet: plan injection range %+v escapes the sweep's [0, %d)", plan.Injection, ns.N)
+	}
+	if plan.Beam.N < 0 || plan.Beam.Offset < 0 || !(TrialRange{N: ns.BeamRuns}).Covers(plan.Beam) {
+		return fmt.Errorf("fleet: plan beam range %+v escapes the sweep's [0, %d)", plan.Beam, ns.BeamRuns)
+	}
+	return nil
+}
+
+// RunPlan executes an explicit shard plan: the full grid of both cell
+// kinds, each cell restricted to exactly plan's trial ranges — the worker
+// entry point of the partial-overlap cache, where the ranges to compute
+// come from what a cached artifact does not cover rather than from the
+// balanced k-of-K split. The partial it returns folds with any other
+// partials that complete the partition, bit-identical to the monolithic
+// run (trial i of a cell seeds identically no matter which plan computes
+// it).
+func (s Sweep) RunPlan(ctx context.Context, plan ShardPlan) (*SweepResult, error) {
+	if err := s.CheckPlan(plan); err != nil {
+		return nil, err
+	}
+	return s.run(ctx, &plan)
+}
+
+// PlanWithPrefix lays out the shard plans of a partially-cached run: plan
+// 0 covers the prefix [0, injCovered) × [0, beamCovered) — the part an
+// existing base-equal artifact already answers (see SliceResult) — and
+// plans 1..fresh split the remaining trial ranges into balanced contiguous
+// pieces. The fresh+1 plans partition the sweep's trial space exactly, so
+// the corresponding partials fold with MergeSweepResults into a result
+// byte-identical to Sweep.Run: a request extending a cached sweep from N
+// to 2N computes only the missing N trials.
+func (s Sweep) PlanWithPrefix(injCovered, beamCovered, fresh int) ([]ShardPlan, error) {
+	ns := s.normalized()
+	if fresh < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 fresh shard, got %d", fresh)
+	}
+	if injCovered < 0 || injCovered > ns.N || beamCovered < 0 || beamCovered > ns.BeamRuns {
+		return nil, fmt.Errorf("fleet: covered prefix %d+%d escapes the sweep's %d+%d trials",
+			injCovered, beamCovered, ns.N, ns.BeamRuns)
+	}
+	if injCovered == ns.N && beamCovered == ns.BeamRuns {
+		return nil, fmt.Errorf("fleet: prefix %d+%d covers the whole sweep — nothing left to compute", injCovered, beamCovered)
+	}
+	count := fresh + 1
+	plans := make([]ShardPlan, count)
+	plans[0] = ShardPlan{
+		Index: 0, Count: count,
+		Injection: TrialRange{N: injCovered},
+		Beam:      TrialRange{N: beamCovered},
+	}
+	injRest := TrialRange{Offset: injCovered, N: ns.N - injCovered}
+	beamRest := TrialRange{Offset: beamCovered, N: ns.BeamRuns - beamCovered}
+	for k := 1; k < count; k++ {
+		plans[k] = ShardPlan{
+			Index: k, Count: count,
+			Injection: injRest.Split(k-1, fresh),
+			Beam:      beamRest.Split(k-1, fresh),
+		}
+	}
+	return plans, nil
+}
+
 // MergeSweepResults folds the shard partials of one sweep back into a
 // complete SweepResult, bit-identical (struct and JSON) to the monolithic
 // Sweep.Run with the same spec. Before folding it validates compatibility:
-// every part must be a RunShard partial of the same shard count, the shard
+// every part must be a shard partial of the same shard count, the shard
 // indices must cover 0..K-1 exactly once, the normalised specs (grid,
 // seeds, trial counts — Workers and Progress are execution details and may
 // differ per shard) must be equal, each part's recorded cell specs must
-// match the grid the shared spec derives, and each part's plan must be the
-// one the spec derives for its index. Parts are folded in shard order, so
-// callers may pass them in any order.
+// match the grid the shared spec derives, and the parts' plans — in index
+// order — must tile the sweep's trial space exactly: contiguous from 0,
+// no gaps, no overlaps, summing to N and BeamRuns. The balanced RunShard
+// split satisfies this, and so does any finer or uneven partition, which
+// is what lets the partial-overlap cache fold a cached prefix partial
+// (SliceResult) with freshly computed suffix ranges (RunPlan). Parts are
+// folded in shard order, so callers may pass them in any order.
 func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("fleet: no sweep partials to merge")
@@ -119,6 +197,7 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 	spec := ps[0].Spec
 	spec.Progress = nil
 	spec.Workers = 0
+	injNext, beamNext := 0, 0
 	for i, p := range ps {
 		if p.Shard.Count != count {
 			return nil, fmt.Errorf("fleet: shard %s split %d ways, others %d", p.Shard, p.Shard.Count, count)
@@ -132,13 +211,20 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 		if !reflect.DeepEqual(spec, sp) {
 			return nil, fmt.Errorf("fleet: shard %s ran a different sweep spec (grid, seeds or trial counts)", p.Shard)
 		}
-		plan, err := spec.Plan(p.Shard.Index, count)
-		if err != nil {
-			return nil, err
+		if p.Shard.Injection.N < 0 || p.Shard.Injection.Offset != injNext {
+			return nil, fmt.Errorf("fleet: shard %s injection range %+v does not continue at trial %d — the plans must tile [0, %d) exactly",
+				p.Shard, p.Shard.Injection, injNext, spec.N)
 		}
-		if *p.Shard != plan {
-			return nil, fmt.Errorf("fleet: shard %s plan %+v does not match the spec's %+v", p.Shard, *p.Shard, plan)
+		if p.Shard.Beam.N < 0 || p.Shard.Beam.Offset != beamNext {
+			return nil, fmt.Errorf("fleet: shard %s beam range %+v does not continue at run %d — the plans must tile [0, %d) exactly",
+				p.Shard, p.Shard.Beam, beamNext, spec.BeamRuns)
 		}
+		injNext = p.Shard.Injection.End()
+		beamNext = p.Shard.Beam.End()
+	}
+	if injNext != spec.N || beamNext != spec.BeamRuns {
+		return nil, fmt.Errorf("fleet: the %d plans cover %d injection and %d beam trials, want %d and %d",
+			count, injNext, beamNext, spec.N, spec.BeamRuns)
 	}
 
 	grid := spec.Cells()

@@ -11,6 +11,25 @@
 // (singleflight), so a thundering herd asking one question costs one
 // campaign.
 //
+// # Partial-overlap reuse
+//
+// Beyond exact hits, the cache serves *overlapping* sweeps. The
+// range-normalized base hash (fleet.Sweep.CanonicalHashBase — the
+// canonical hash with the trial counts N and BeamRuns zeroed) groups
+// sweeps that ask the same question at different sample sizes, and the
+// global trial index space makes a smaller same-base sweep a bit-identical
+// prefix of a larger one. On a miss, the overlap planner picks the
+// base-equal cached artifact saving the most cell-weighted trials, mounts
+// it as shard 0 of an explicit-range plan (distrib.Scheduler's
+// SubmitWithPrefix), and workers compute only the missing trial ranges;
+// the folded artifact is byte-identical to a monolithic run. So growing an
+// N-trial sweep to 2N costs N fresh trials, not 2N.
+//
+// The cache is size-bounded (WithCacheMaxBytes) with LRU eviction — an
+// evicted id 404s cleanly — and observable: WithAdmissionLog appends one
+// AdmissionRecord JSON line per POST, and GET /v1/stats serves the
+// cumulative hit/miss/trial counters.
+//
 // # HTTP API contract
 //
 // Sweep IDs are canonical spec hashes (fleet.Sweep.CanonicalHash): the
@@ -20,9 +39,11 @@
 //	POST /v1/sweeps
 //	    Body: a canonical sweep spec (fleet.WriteSpec JSON; unknown
 //	    fields rejected). Responses: 202 + Status JSON when a new job was
-//	    submitted; 200 + Status JSON when the request coalesced onto an
-//	    in-flight job or hit the artifact cache. 400 for a body that is
-//	    not a spec, 422 for a spec the scheduler cannot plan.
+//	    submitted (partial:true when it is an overlap job computing only
+//	    the ranges a cached prefix is missing); 200 + Status JSON when
+//	    the request coalesced onto an in-flight job or hit the artifact
+//	    cache. 400 for a body that is not a spec, 422 for a spec the
+//	    scheduler cannot plan.
 //	    A sweep that previously failed or was cancelled is resubmitted.
 //	GET /v1/sweeps
 //	    200 + JSON array of Status, in first-submission order.
@@ -31,8 +52,8 @@
 //	GET /v1/sweeps/{id}/result
 //	    200 + the merged SweepResult artifact, byte-identical across
 //	    repeated requests and across cache hits (ETag is the sweep id);
-//	    404 unknown, 409 while the sweep is still queued/running, 410
-//	    cancelled, 502 failed.
+//	    304 when If-None-Match matches the ETag; 404 unknown, 409 while
+//	    the sweep is still queued/running, 410 cancelled, 502 failed.
 //	GET /v1/sweeps/{id}/events
 //	    Server-sent events: "progress" events carrying distrib.Event
 //	    JSON (fan-out-wide done/total) as workers report, then one
@@ -45,6 +66,10 @@
 //	DELETE /v1/sweeps/{id}
 //	    Cancels the sweep's job (204); cancelling a finished sweep is a
 //	    no-op (204), unknown ids 404.
+//	GET /v1/stats
+//	    200 + Stats JSON: submissions, full/partial hits, misses,
+//	    coalesced joins, trials served from cache vs computed, evictions,
+//	    and the cache's on-disk extent.
 package serve
 
 import (
@@ -72,6 +97,17 @@ type Status struct {
 	// Cached reports the artifact was served from the content-addressed
 	// cache without computing anything in this process.
 	Cached bool `json:"cached"`
+	// Partial reports an overlap job: a base-equal cached artifact served
+	// the prefix named by Prefix, and only the missing trial ranges were
+	// computed.
+	Partial bool `json:"partial,omitempty"`
+	// Prefix is the canonical hash of the cached artifact serving the
+	// covered prefix of a partial sweep.
+	Prefix string `json:"prefix,omitempty"`
+	// TrialsFromCache and TrialsComputed split the sweep's cell-weighted
+	// trials between the cached prefix and fresh compute.
+	TrialsFromCache int `json:"trialsFromCache,omitempty"`
+	TrialsComputed  int `json:"trialsComputed,omitempty"`
 	// Coalesced is set on POST responses that joined an already-in-flight
 	// job instead of starting a new one.
 	Coalesced bool `json:"coalesced,omitempty"`
@@ -106,6 +142,14 @@ type entry struct {
 	cached bool         // artifact came from the cache, no compute here
 	job    *distrib.Job // nil for pure cache hits
 
+	// partial marks an overlap job: prefix (the cached artifact's hash)
+	// served cacheTrials of the request from disk, and only freshTrials
+	// are computed by workers. Set before the entry is published.
+	partial     bool
+	prefix      string
+	cacheTrials int
+	freshTrials int
+
 	done     chan struct{}
 	artifact []byte // exact WriteJSON bytes of the merged result
 	result   *fleet.SweepResult
@@ -127,11 +171,20 @@ type Server struct {
 	// cacheDir, when non-empty, persists the content-addressed artifact
 	// cache across restarts: one <hash>.json per sweep.
 	cacheDir string
-	logf     func(format string, args ...any)
+	// cacheMaxBytes, when positive, bounds the on-disk cache; exceeding it
+	// evicts least-recently-used artifacts (see evictLocked).
+	cacheMaxBytes int64
+	admission     *admissionLog // nil when no admission log is configured
+	logf          func(format string, args ...any)
 
 	mu     sync.Mutex
 	sweeps map[string]*entry
 	order  []string
+	// index is the overlap index: every complete on-disk artifact keyed by
+	// canonical hash, searchable by base hash for prefix reuse.
+	index  map[string]*cacheInfo
+	useSeq int64
+	stats  Stats
 }
 
 // Option configures a Server.
@@ -150,17 +203,42 @@ func WithLogf(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithCacheMaxBytes bounds the persistent artifact cache to n bytes on
+// disk; crossing the bound evicts least-recently-used artifacts (never an
+// in-flight sweep's). Zero or negative means unbounded.
+func WithCacheMaxBytes(n int64) Option {
+	return func(s *Server) { s.cacheMaxBytes = n }
+}
+
+// WithAdmissionLog appends one JSON line per POST to path (see
+// AdmissionRecord): hash, base hash, full/partial/miss/coalesced outcome,
+// and the trials-from-cache vs trials-computed split.
+func WithAdmissionLog(path string) Option {
+	return func(s *Server) {
+		if path != "" {
+			s.admission = &admissionLog{path: path}
+		}
+	}
+}
+
 // New builds a Server over sched. The caller owns the scheduler's
-// lifecycle (Close it after the HTTP server drains).
+// lifecycle (Close it after the HTTP server drains). When a cache
+// directory is configured its artifacts are scanned into the overlap
+// index, so partial-overlap serving resumes across restarts.
 func New(sched *distrib.Scheduler, opts ...Option) *Server {
 	s := &Server{
 		sched:  sched,
 		logf:   func(string, ...any) {},
 		sweeps: map[string]*entry{},
+		index:  map[string]*cacheInfo{},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.admission != nil {
+		s.admission.logf = s.logf
+	}
+	s.scanCache()
 	return s
 }
 
@@ -174,12 +252,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/figures", s.handleFigures)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
 
 // status snapshots an entry. coalesced decorates POST responses only.
 func (s *Server) status(e *entry) Status {
-	st := Status{ID: e.hash, Cached: e.cached, Links: linksFor(e.hash)}
+	st := Status{
+		ID: e.hash, Cached: e.cached, Links: linksFor(e.hash),
+		Partial: e.partial, Prefix: e.prefix,
+		TrialsFromCache: e.cacheTrials, TrialsComputed: e.freshTrials,
+	}
 	if e.terminal() {
 		switch {
 		case errors.Is(e.err, context.Canceled):
@@ -211,9 +294,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // handleSubmit is POST /v1/sweeps: parse the canonical spec, resolve its
 // content address, and either join what already exists (in-flight job or
-// cached artifact) or submit a new job. The sweeps map is the
-// singleflight: the hash's first submitter creates the entry, everyone
-// else finds it.
+// cached artifact), plan a partial-overlap job around the best base-equal
+// cached prefix, or submit a cold job. The sweeps map is the singleflight:
+// the hash's first submitter creates the entry, everyone else finds it.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := fleet.ReadSpec(r.Body)
 	if err != nil {
@@ -221,17 +304,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := spec.CanonicalHash()
+	base := spec.CanonicalHashBase()
+	reqTrials := specTrials(spec)
+	admit := func(outcome, prefix string, fromCache, computed int) {
+		if s.admission != nil {
+			s.admission.record(AdmissionRecord{
+				Hash: hash, Base: base, Outcome: outcome, Prefix: prefix,
+				TrialsFromCache: fromCache, TrialsComputed: computed,
+			})
+		}
+	}
 
 	s.mu.Lock()
+	s.stats.Submissions++
 	if e, ok := s.sweeps[hash]; ok {
 		// A failed or cancelled sweep is not an answer; resubmitting it is
 		// the retry path. Anything else coalesces.
 		if !e.terminal() || e.err == nil {
+			if e.terminal() {
+				s.stats.FullHits++
+				s.stats.TrialsFromCache += int64(reqTrials)
+				s.touch(hash)
+			} else {
+				s.stats.Coalesced++
+			}
 			s.mu.Unlock()
 			st := s.status(e)
 			st.Coalesced = !e.terminal()
 			if st.State == string(distrib.JobDone) {
 				st.Cached = true // no compute was spent on this request
+				admit("full", "", reqTrials, 0)
+			} else {
+				admit("coalesced", "", 0, 0)
 			}
 			s.logf("serve: sweep %.12s joined (%s)", hash, st.State)
 			writeJSON(w, http.StatusOK, st)
@@ -247,27 +351,77 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if artifact, res, ok := s.loadCached(hash); ok {
-		e := &entry{hash: hash, cached: true, done: make(chan struct{}), artifact: artifact, result: res}
+		e := &entry{
+			hash: hash, cached: true, cacheTrials: reqTrials,
+			done: make(chan struct{}), artifact: artifact, result: res,
+		}
 		close(e.done)
 		s.sweeps[hash] = e
 		s.order = append(s.order, hash)
+		s.stats.FullHits++
+		s.stats.TrialsFromCache += int64(reqTrials)
+		s.touch(hash)
 		s.mu.Unlock()
 		s.logf("serve: sweep %.12s served from artifact cache", hash)
-		st := s.status(e)
-		writeJSON(w, http.StatusOK, st)
+		admit("full", "", reqTrials, 0)
+		writeJSON(w, http.StatusOK, s.status(e))
 		return
 	}
+
+	// Partial overlap: the largest base-equal cached prefix turns this
+	// miss into a job over only the missing trial ranges. A candidate
+	// whose artifact no longer loads is dropped from the index and the
+	// next-best tried, so a vanished file degrades to a cold miss, never
+	// an error.
+	for {
+		best := s.bestOverlap(spec)
+		if best == nil {
+			break
+		}
+		_, cachedRes, ok := s.loadCached(best.hash)
+		if !ok {
+			delete(s.index, best.hash)
+			continue
+		}
+		job, err := s.sched.SubmitWithPrefix(spec, cachedRes)
+		if err != nil {
+			// The planner refused what the index predicted (e.g. a stale
+			// artifact rewritten mid-flight); recompute instead.
+			s.logf("serve: overlap plan around %.12s failed: %v", best.hash, err)
+			break
+		}
+		s.touch(best.hash)
+		e := &entry{
+			hash: hash, job: job, done: make(chan struct{}),
+			partial: true, prefix: best.hash,
+			cacheTrials: best.trials(), freshTrials: reqTrials - best.trials(),
+		}
+		s.sweeps[hash] = e
+		s.order = append(s.order, hash)
+		s.stats.PartialHits++
+		s.stats.TrialsFromCache += int64(e.cacheTrials)
+		s.mu.Unlock()
+		s.logf("serve: sweep %.12s submitted as %s — partial overlap on %.12s (%d trials cached, %d to compute)",
+			hash, job.ID(), best.hash, e.cacheTrials, e.freshTrials)
+		admit("partial", best.hash, e.cacheTrials, e.freshTrials)
+		go s.finalize(e)
+		writeJSON(w, http.StatusAccepted, s.status(e))
+		return
+	}
+
 	job, err := s.sched.Submit(spec)
 	if err != nil {
 		s.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	e := &entry{hash: hash, job: job, done: make(chan struct{})}
+	e := &entry{hash: hash, job: job, done: make(chan struct{}), freshTrials: reqTrials}
 	s.sweeps[hash] = e
 	s.order = append(s.order, hash)
+	s.stats.Misses++
 	s.mu.Unlock()
 	s.logf("serve: sweep %.12s submitted as %s (%d shards)", hash, job.ID(), s.sched.Options().Shards)
+	admit("miss", "", 0, reqTrials)
 	go s.finalize(e)
 	writeJSON(w, http.StatusAccepted, s.status(e))
 }
@@ -291,7 +445,12 @@ func (s *Server) finalize(e *entry) {
 	}
 	e.artifact = buf.Bytes()
 	e.result = res
-	s.storeCached(e.hash, e.artifact)
+	s.storeCached(e.hash, e.artifact, res)
+	s.mu.Lock()
+	// Fresh compute is counted when it actually lands, so failed jobs
+	// never inflate the savings ledger.
+	s.stats.TrialsComputed += int64(e.freshTrials)
+	s.mu.Unlock()
 	close(e.done)
 	s.logf("serve: sweep %.12s done (%d bytes)", e.hash, len(e.artifact))
 }
@@ -322,8 +481,10 @@ func (s *Server) loadCached(hash string) ([]byte, *fleet.SweepResult, bool) {
 }
 
 // storeCached lands the artifact in the persistent cache via tmp+rename,
-// so a crash mid-write never leaves a half cache entry to half-trust.
-func (s *Server) storeCached(hash string, artifact []byte) {
+// so a crash mid-write never leaves a half cache entry to half-trust. On
+// success the overlap index learns the artifact and the size bound is
+// enforced (evicting LRU victims as needed).
+func (s *Server) storeCached(hash string, artifact []byte, res *fleet.SweepResult) {
 	if s.cacheDir == "" {
 		return
 	}
@@ -348,7 +509,12 @@ func (s *Server) storeCached(hash string, artifact []byte) {
 	if err != nil {
 		os.Remove(tmp.Name())
 		s.logf("serve: cache write: %v", err)
+		return
 	}
+	s.mu.Lock()
+	s.indexAdd(hash, res, int64(len(artifact)))
+	s.evictLocked()
+	s.mu.Unlock()
 }
 
 // lookup resolves the id path value, falling back to the persistent cache
@@ -359,12 +525,18 @@ func (s *Server) lookup(r *http.Request) (*entry, bool) {
 	e, ok := s.sweeps[id]
 	if !ok {
 		if artifact, res, hit := s.loadCached(id); hit {
-			e = &entry{hash: id, cached: true, done: make(chan struct{}), artifact: artifact, result: res}
+			e = &entry{
+				hash: id, cached: true, cacheTrials: specTrials(res.Spec),
+				done: make(chan struct{}), artifact: artifact, result: res,
+			}
 			close(e.done)
 			s.sweeps[id] = e
 			s.order = append(s.order, id)
 			ok = true
 		}
+	}
+	if ok {
+		s.touch(id)
 	}
 	s.mu.Unlock()
 	return e, ok
@@ -428,14 +600,26 @@ func (s *Server) resultEntry(w http.ResponseWriter, r *http.Request) (*entry, bo
 
 // handleResult serves the merged artifact — the exact bytes the first
 // computation produced, whether they come from this process or the cache.
+// The artifact is immutable per content address, so If-None-Match against
+// the sweep-id ETag short-circuits to 304 without moving a byte.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.resultEntry(w, r)
 	if !ok {
 		return
 	}
+	etag := `"` + e.hash + `"`
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("ETag", `"`+e.hash+`"`)
 	w.Write(e.artifact)
+}
+
+// handleStats serves the cumulative cache economics counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
 // handleFigures serves the rendered paper tables for a done sweep:

@@ -51,8 +51,13 @@ func specBody(t *testing.T, spec fleet.Sweep) *bytes.Reader {
 // compute" — and an optional gate that holds every shard until release.
 type worker struct {
 	execs atomic.Int64
-	gate  chan struct{} // nil = run immediately
-	fail  bool          // report failure instead of landing a partial
+	// planInj and planBeam sum the per-cell trial counts of every explicit
+	// plan executed — the tests' measure of fresh compute on the
+	// partial-overlap path.
+	planInj  atomic.Int64
+	planBeam atomic.Int64
+	gate     chan struct{} // nil = run immediately
+	fail     bool          // report failure instead of landing a partial
 }
 
 func (wk *worker) Launch(ctx context.Context, task distrib.Task, stderr io.Writer) error {
@@ -76,7 +81,14 @@ func (wk *worker) Launch(ctx context.Context, task distrib.Task, stderr io.Write
 	spec.Progress = func(done, total int) {
 		enc.Encode(distrib.Event{Event: distrib.EventName, Shard: task.Shard, Count: task.Count, Done: done, Total: total})
 	}
-	res, err := spec.RunShard(ctx, task.Shard, task.Count)
+	var res *fleet.SweepResult
+	if task.Plan != nil {
+		wk.planInj.Add(int64(task.Plan.Injection.N))
+		wk.planBeam.Add(int64(task.Plan.Beam.N))
+		res, err = spec.RunPlan(ctx, *task.Plan)
+	} else {
+		res, err = spec.RunShard(ctx, task.Shard, task.Count)
+	}
 	if err != nil {
 		return err
 	}
