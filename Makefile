@@ -3,16 +3,16 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt sweep bench-smoke perf-gate shard shard-merge \
-	shard-demo worker-bin fleet-check fleet-demo nightly-sweep cover fuzz \
-	serve-check ci
+.PHONY: build test race vet fmt docs-check sweep bench-smoke perf-gate shard \
+	shard-merge shard-demo worker-bin fleet-check fleet-demo nightly-sweep \
+	cover fuzz serve-check ci
 
 # The exact PR-gating sequence CI runs, as one local command. cover re-runs
 # the covered packages with coverage instrumentation (a different build
 # than test's, so the test cache cannot share them); CI pays nothing — the
 # jobs run in parallel — and locally it adds ~1 minute to a multi-minute
 # sequence.
-ci: fmt vet build test race perf-gate cover serve-check fleet-demo
+ci: fmt vet docs-check build test race perf-gate cover serve-check fleet-demo
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,9 @@ test:
 # ~100x, and the statistical-power campaigns add nothing to race coverage
 # (plain `make test` still runs everything at full size).
 race:
-	$(GO) test -race -short -timeout 15m -run 'Engine|Deterministic|Cancel|Stream|Progress|Sweep|Scheduler|Serve' \
+	$(GO) test -race -short -timeout 15m -run 'Engine|Deterministic|Cancel|Stream|Progress|Sweep|Scheduler|Serve|Monitor|Tee|Incremental' \
 		./internal/engine/... ./internal/core/... ./internal/beam/... ./internal/fleet/... \
-		./internal/distrib/... ./internal/serve/...
+		./internal/distrib/... ./internal/serve/... ./internal/monitor/...
 
 # Runs every figure/ablation benchmark exactly once — a smoke test that the
 # experiment index still executes, so engine regressions surface in CI.
@@ -53,6 +53,26 @@ vet:
 # Fails (listing offenders) if any file is not gofmt-clean.
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Documentation gates, enforced like any other test: (1) every internal
+# package must carry a package comment — the godoc entry point a new
+# reader lands on; (2) docs/api.md must mention every route string
+# registered in internal/serve, so the API reference cannot silently
+# drift behind the mux. Both checks derive their ground truth from the
+# source (go list, the HandleFunc table), never from a hand-kept list.
+docs-check:
+	@bad=""; for pkg in $$($(GO) list ./internal/...); do \
+		dir=$${pkg#phirel/}; \
+		grep -q '^// Package ' $$dir/*.go || bad="$$bad $$dir"; \
+	done; \
+	if [ -n "$$bad" ]; then echo "internal packages missing a package comment:$$bad"; exit 1; fi
+	@routes=$$(grep -o 'HandleFunc("[A-Z]* [^"]*"' internal/serve/*.go | sed 's/.*HandleFunc("//; s/"$$//'); \
+	[ -n "$$routes" ] || { echo "docs-check: found no registered routes in internal/serve"; exit 1; }; \
+	missing=$$(echo "$$routes" | while read -r r; do \
+		grep -qF -- "$$r" docs/api.md || printf ' [%s]' "$$r"; \
+	done); \
+	if [ -n "$$missing" ]; then echo "docs/api.md is missing routes:$$missing"; exit 1; fi; \
+	echo "docs-check: all internal packages documented; docs/api.md covers every serve route"
 
 # One set of quick-sweep parameters shared by the monolithic sweep job and
 # the sharded matrix legs, so their artifacts are byte-comparable.
@@ -91,24 +111,29 @@ shard-demo:
 # Coverage floors (percent of statements) for the packages that gate the
 # correctness of merged artifacts and their serving: internal/distrib
 # (supervision, launchers, partial validation), internal/fleet (sharding
-# algebra, merge validation, artifact readers), and internal/serve (the
+# algebra, merge validation, artifact readers), internal/serve (the
 # sweep service's cache/coalesce/streaming contract, now including the
-# partial-overlap planner, eviction, and stats). The floors sit below
-# current coverage (~82% / ~89% / ~88%; the kubectl exec paths need a live
+# partial-overlap planner, eviction, and stats), and internal/monitor
+# (the online FIT/MTBF estimator whose final snapshot must equal the
+# post-hoc fit exactly). The floors sit below current coverage
+# (~82% / ~89% / ~88% / ~97%; the kubectl exec paths need a live
 # cluster) so they catch erosion, not noise. CI's cover job runs this and
 # uploads the HTML reports as artifacts.
 DISTRIB_COVER_FLOOR ?= 75
 FLEET_COVER_FLOOR ?= 85
 SERVE_COVER_FLOOR ?= 84
+MONITOR_COVER_FLOOR ?= 90
 
 cover:
 	$(GO) test -coverprofile=cover-distrib.out ./internal/distrib/
 	$(GO) test -coverprofile=cover-fleet.out ./internal/fleet/
 	$(GO) test -coverprofile=cover-serve.out ./internal/serve/
+	$(GO) test -coverprofile=cover-monitor.out ./internal/monitor/
 	$(GO) tool cover -html=cover-distrib.out -o cover-distrib.html
 	$(GO) tool cover -html=cover-fleet.out -o cover-fleet.html
 	$(GO) tool cover -html=cover-serve.out -o cover-serve.html
-	@for pf in cover-distrib.out:$(DISTRIB_COVER_FLOOR) cover-fleet.out:$(FLEET_COVER_FLOOR) cover-serve.out:$(SERVE_COVER_FLOOR); do \
+	$(GO) tool cover -html=cover-monitor.out -o cover-monitor.html
+	@for pf in cover-distrib.out:$(DISTRIB_COVER_FLOOR) cover-fleet.out:$(FLEET_COVER_FLOOR) cover-serve.out:$(SERVE_COVER_FLOOR) cover-monitor.out:$(MONITOR_COVER_FLOOR); do \
 		profile=$${pf%%:*}; floor=$${pf##*:}; \
 		total=$$($(GO) tool cover -func=$$profile | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 		if awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 < f+0) }'; then \

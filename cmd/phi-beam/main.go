@@ -10,6 +10,12 @@
 //
 //	phi-beam [-runs 40000] [-seed N] [-workers N] [-device KNC3120A]
 //	         [-no-ecc] [-out beam.jsonl] [-progress] [-extrapolate]
+//	         [-monitor-jsonl mon.jsonl] [-monitor-temp 330] [-monitor-every 1000]
+//
+// With -monitor-jsonl a resident reliability monitor (internal/monitor)
+// taps the same record stream the -out log consumes and appends rolling
+// FIT/MTBF snapshots — one JSONL line per -monitor-every records plus one
+// per benchmark boundary; the final line equals the post-hoc fit exactly.
 package main
 
 import (
@@ -22,7 +28,10 @@ import (
 
 	"phirel/internal/beam"
 	"phirel/internal/bench/all"
+	"phirel/internal/cli"
+	"phirel/internal/engine"
 	"phirel/internal/figures"
+	"phirel/internal/monitor"
 	"phirel/internal/phi"
 	"phirel/internal/trace"
 )
@@ -39,9 +48,19 @@ func main() {
 		progress    = flag.Bool("progress", false, "report per-benchmark completion on stderr")
 		extrapolate = flag.Bool("extrapolate", true, "print Trinity/exascale extrapolation")
 	)
+	var mon cli.MonitorFlags
+	mon.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	dev, err := phi.NewDevice(*device)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The resident monitor consumes the same record stream the JSONL log
+	// does; one monitor spans the whole suite, so its rolling aggregate is
+	// the machine-level estimate across benchmarks.
+	sink, err := mon.Open()
 	if err != nil {
 		fatal(err)
 	}
@@ -59,12 +78,16 @@ func main() {
 		logw = trace.NewWriter(logf)
 		defer logw.Flush()
 	}
-	// die flushes the partial log before exiting, so an interrupted or
-	// failed campaign still leaves valid JSONL behind (fatal skips defers).
+	// die flushes the partial log and monitor stream before exiting, so an
+	// interrupted or failed campaign still leaves valid JSONL behind
+	// (fatal skips defers).
 	die := func(err error) {
 		if logw != nil {
 			logw.Flush()
 			logf.Close()
+		}
+		if sink != nil {
+			sink.Close()
 		}
 		fatal(err)
 	}
@@ -73,7 +96,7 @@ func main() {
 	defer stop()
 
 	results := map[string]*beam.Result{}
-	for _, name := range all.BeamSuite {
+	for bi, name := range all.BeamSuite {
 		fmt.Fprintf(os.Stderr, "phi-beam: %d accelerated runs on %s...\n", *runs, name)
 		cfg := beam.Config{
 			Benchmark: name, Runs: *runs, Seed: *seed, BenchSeed: *benchSeed,
@@ -89,18 +112,41 @@ func main() {
 		// Records stream straight to the JSONL log through a bounded
 		// channel, so -out costs O(worker skew) memory instead of O(Runs);
 		// the resequencer keeps the log byte-identical across runs even
-		// though workers deliver interleaved.
+		// though workers deliver interleaved. With -monitor-jsonl the same
+		// stream is teed to the resident monitor — both consumers see every
+		// record, and the engine's close-on-return propagates through the
+		// tee so each drains exactly once per campaign.
 		var writeDone chan error
-		if logw != nil {
-			ch := make(chan beam.Record, 1024)
-			cfg.Stream = ch
+		var att *monitor.Attachment
+		startLog := func(ch <-chan beam.Record) {
 			writeDone = make(chan error, 1)
 			go func() {
 				writeDone <- trace.CopyOrdered(ch, logw, func(r beam.Record) int { return r.Seq })
 			}()
 		}
+		switch {
+		case logw != nil && sink != nil:
+			ch := make(chan beam.Record, 1024)
+			cfg.Stream = ch
+			monCh := make(chan beam.Record, 1024)
+			logCh := make(chan beam.Record, 1024)
+			engine.Tee(ch, monCh, logCh)
+			att = monitor.Attach(sink.Monitor, monCh)
+			startLog(logCh)
+		case sink != nil:
+			ch := make(chan beam.Record, 1024)
+			cfg.Stream = ch
+			att = monitor.Attach(sink.Monitor, ch)
+		case logw != nil:
+			ch := make(chan beam.Record, 1024)
+			cfg.Stream = ch
+			startLog(ch)
+		}
 		res, err := beam.RunContext(ctx, cfg)
-		if logw != nil {
+		if att != nil {
+			att.Wait()
+		}
+		if writeDone != nil {
 			if werr := <-writeDone; werr != nil {
 				die(werr)
 			}
@@ -113,6 +159,18 @@ func main() {
 			die(err)
 		}
 		results[name] = res
+		// Per-benchmark boundary snapshot; the last benchmark's is the
+		// final line Close writes.
+		if sink != nil && bi < len(all.BeamSuite)-1 {
+			sink.Mark()
+		}
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phi-beam: wrote %d monitor snapshots to %s\n",
+			sink.Lines(), mon.Out)
 	}
 
 	fmt.Println(figures.Figure2(results))

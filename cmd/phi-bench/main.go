@@ -13,7 +13,7 @@
 //	phi-bench -sweep [-n 600] [-models Single,Double,Random,Zero]
 //	          [-policies by-frame] [-campaign-seed 1701] [-workers 8]
 //	          [-beam-runs 6000] [-beam-devices KNC3120A] [-beam-ecc-ablation]
-//	          [-shard k/K] [-out sweep.json]
+//	          [-shard k/K] [-out sweep.json] [-monitor-jsonl mon.jsonl]
 //	phi-bench -spec spec.json [-shard k/K | -plan k/K:injOff+injN:beamOff+beamN]
 //	          [-progress-jsonl] [-out -] [-frame-out]
 //
@@ -56,6 +56,8 @@ import (
 func main() {
 	var grid cli.SweepFlags
 	grid.Register(flag.CommandLine, "sweep: ")
+	var mon cli.MonitorFlags
+	mon.Register(flag.CommandLine, "sweep: ")
 	var (
 		reps = flag.Int("reps", 3, "timing repetitions")
 
@@ -82,7 +84,7 @@ func main() {
 
 	if *sweep || *specArg != "" {
 		runSweep(sweepOpts{
-			grid: &grid, out: *out,
+			grid: &grid, mon: &mon, out: *out,
 			shard: *shardArg, plan: *planArg, spec: *specArg, progressJSONL: *progJSONL,
 			frameOut: *frameOut,
 		})
@@ -120,6 +122,7 @@ func main() {
 
 type sweepOpts struct {
 	grid          *cli.SweepFlags
+	mon           *cli.MonitorFlags
 	out           string
 	shard         string
 	plan          string
@@ -145,6 +148,18 @@ func runSweep(o sweepOpts) {
 	s, err := o.grid.LoadSweep(o.spec, os.Stdin, cli.WorkersSet(flag.CommandLine))
 	if err != nil {
 		fatal(err)
+	}
+
+	// The resident monitor taps the sweep's record streams through the
+	// fleet observer hooks — execution detail, so a monitored artifact
+	// stays byte-identical to an unmonitored one.
+	sink, err := o.mon.Open()
+	if err != nil {
+		fatal(err)
+	}
+	if sink != nil {
+		s.ObserveInjection = sink.Monitor.ObserveInjection
+		s.ObserveBeam = sink.Monitor.ObserveBeam
 	}
 
 	if o.shard != "" && o.plan != "" {
@@ -191,6 +206,13 @@ func runSweep(o sweepOpts) {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phi-bench: wrote %d monitor snapshots to %s\n",
+			sink.Lines(), o.mon.Out)
 	}
 	label := ""
 	if res.Shard != nil {

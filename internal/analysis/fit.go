@@ -77,6 +77,23 @@ func NewFITEstimate(crossSectionCm2 float64, k, n int) FITEstimate {
 	}
 }
 
+// RateFITEstimate builds a FIT estimate from a raw fault rate (faults per
+// hour, e.g. phi.Device.RawFaultRate at the natural flux) and a
+// fault-conditional outcome count: FIT = rate · 10⁹ · k/n, with the Wilson
+// interval of k/n scaled by the same factor. This is the one conversion
+// both the beam campaign's post-hoc fits (beam.Result.FIT) and the
+// resident monitor's rolling estimates (internal/monitor) go through, so
+// the two can be compared for bit-exact equality on equal tallies.
+func RateFITEstimate(rawFaultRate float64, k, n int) FITEstimate {
+	p := stats.NewProportion(k, n)
+	scale := rawFaultRate * 1e9
+	return FITEstimate{
+		FIT: scale * p.P,
+		K:   k, N: n,
+		CI: stats.Interval{Lo: scale * p.CI.Lo, Hi: scale * p.CI.Hi},
+	}
+}
+
 // ToleranceCurve returns the paper's Figure 3 series: for each tolerance t
 // (fractional, e.g. 0.005 = 0.5%), the percentage FIT reduction obtained by
 // not counting SDCs whose worst relative error is ≤ t.

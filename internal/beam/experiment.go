@@ -105,15 +105,12 @@ type Result struct {
 // DUE returns all detected-unrecoverable counts.
 func (r *Result) DUE() int { return r.Outcomes.DUE() }
 
-// FIT converts an outcome count into a FIT estimate with binomial CI.
+// FIT converts an outcome count into a FIT estimate with binomial CI. The
+// math is analysis.RateFITEstimate — shared with the resident monitor, so
+// a monitor snapshot over this campaign's stream reproduces these fits
+// bit for bit.
 func (r *Result) FIT(count int) analysis.FITEstimate {
-	p := stats.NewProportion(count, r.Runs)
-	scale := r.RawFaultRate * 1e9
-	return analysis.FITEstimate{
-		FIT: scale * p.P,
-		K:   count, N: r.Runs,
-		CI: stats.Interval{Lo: scale * p.CI.Lo, Hi: scale * p.CI.Hi},
-	}
+	return analysis.RateFITEstimate(r.RawFaultRate, count, r.Runs)
 }
 
 // SDCFIT returns the total SDC FIT estimate.

@@ -5,8 +5,10 @@
 // assignment, per-worker shard aggregates merged after the pool drains,
 // per-trial RNG streams derived from one seed, context cancellation with
 // internally consistent partial tallies, a serialised Progress hook, and an
-// optional Stream channel for JSONL consumers — parameterised over the
-// experiment function and the record/aggregate types.
+// optional Stream channel delivering records in trial order — parameterised
+// over the experiment function and the record/aggregate types. Tee fans one
+// Stream out to several consumers (a JSONL trace and the resident
+// reliability monitor, say) without the campaign knowing who is listening.
 //
 // Determinism contract: global trial i always runs with the RNG stream
 // stats.NewRNG(stats.Mix64(Seed, i)) on some worker, and shard merging is
@@ -29,6 +31,31 @@ import (
 // trial's whole identity: an experiment must not consult shared mutable
 // state, so trial i yields the same record on every worker.
 type Experiment[R any] func(i int, rng *stats.RNG) R
+
+// Tee fans one record stream out to several consumers: every record read
+// from in is delivered to each out, in order, and every out is closed
+// when in closes — the same close-on-return contract Config.Stream gives
+// a single consumer, extended to many. It returns immediately; the
+// returned channel closes when the fan-out drains. A campaign stream can
+// thus feed a JSONL log writer and a resident reliability monitor at
+// once: make Config.Stream an intermediate channel and Tee it.
+func Tee[R any](in <-chan R, outs ...chan<- R) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			for _, out := range outs {
+				close(out)
+			}
+		}()
+		for rec := range in {
+			for _, out := range outs {
+				out <- rec
+			}
+		}
+	}()
+	return done
+}
 
 // Config parameterises a streaming campaign over record type R and
 // per-worker aggregate type A (typically a pointer to a shard struct).

@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTee checks the fan-out contract: every record reaches every out in
+// order, and closing the source closes every out and the done channel.
+func TestTee(t *testing.T) {
+	in := make(chan int, 4)
+	a := make(chan int, 4)
+	b := make(chan int, 4)
+	done := Tee(in, a, b)
+	for i := 0; i < 4; i++ {
+		in <- i
+	}
+	close(in)
+	<-done
+
+	want := []int{0, 1, 2, 3}
+	for name, ch := range map[string]chan int{"a": a, "b": b} {
+		var got []int
+		for v := range ch { // ranges to completion only if Tee closed it
+			got = append(got, v)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("out %s received %v, want %v", name, got, want)
+		}
+	}
+}

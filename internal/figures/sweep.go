@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"phirel/internal/fleet"
+	"phirel/internal/monitor"
 	"phirel/internal/report"
 	"phirel/internal/state"
 )
@@ -84,5 +85,40 @@ func SweepGroups(sr *fleet.SweepResult) []TableGroup {
 			Tables: []*report.Table{Figure2(results), Figure3(results), Table2(results)},
 		})
 	}
+	if t := MonitorConvergence(sr); t != nil {
+		groups = append(groups, TableGroup{
+			Kind:   "monitor",
+			Label:  "reliability monitor: FIT/MTBF convergence",
+			Tables: []*report.Table{t},
+		})
+	}
 	return groups
+}
+
+// MonitorConvergence renders the resident monitor's convergence series for
+// a sweep artifact: the rolling aggregate SDC/DUE FIT estimate, its 95%
+// Wilson interval, and the derived MTBF at increasing trial counts —
+// estimate ± CI vs. trials consumed, the table both cmd/phi-report and the
+// sweep service's figures endpoint show so an operator can see how many
+// trials the estimate needed to settle. Returns nil for an empty sweep.
+func MonitorConvergence(sr *fleet.SweepResult) *report.Table {
+	points, err := monitor.Convergence(sr, monitor.Config{})
+	if err != nil || len(points) == 0 {
+		return nil
+	}
+	t := report.NewTable("Monitor convergence (aggregate FIT vs. trials consumed)",
+		"Cells", "Trials", "SDC FIT", "SDC 95% CI", "DUE FIT", "DUE 95% CI", "SDC MTBF (h)")
+	for _, p := range points {
+		a := p.Snapshot.Aggregate
+		t.AddRow(
+			fmt.Sprintf("%d", p.Cells),
+			fmt.Sprintf("%d", p.Snapshot.Trials),
+			fmt.Sprintf("%.1f", a.SDC.FIT),
+			fmt.Sprintf("[%.1f, %.1f]", a.SDC.FITLo, a.SDC.FITHi),
+			fmt.Sprintf("%.1f", a.DUE.FIT),
+			fmt.Sprintf("[%.1f, %.1f]", a.DUE.FITLo, a.DUE.FITHi),
+			fmt.Sprintf("%.0f", a.SDC.MTBFHours),
+		)
+	}
+	return t
 }

@@ -1,0 +1,73 @@
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	_ "phirel/internal/bench/all"
+	"phirel/internal/fault"
+	"phirel/internal/fleet"
+)
+
+// ExampleSweep_Plan shows the balanced k-of-K shard split: the K plans
+// partition every cell's trial space into contiguous ranges, and because
+// trial i always derives its RNG stream from the global index, the split
+// never changes what any trial computes.
+func ExampleSweep_Plan() {
+	s := fleet.Sweep{
+		Benchmarks: []string{"DGEMM"},
+		Models:     []fault.Model{fault.Single},
+		N:          10,
+		Seed:       7, BenchSeed: 1,
+	}
+	for k := 0; k < 3; k++ {
+		p, err := s.Plan(k, 3)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("shard %s: injections [%d, %d)\n",
+			p, p.Injection.Offset, p.Injection.End())
+	}
+	// Output:
+	// shard 1/3: injections [0, 3)
+	// shard 2/3: injections [3, 6)
+	// shard 3/3: injections [6, 10)
+}
+
+// ExampleMergeSweepResults runs a sweep as two shard partials and folds
+// them back together — the partials merge into a result identical to the
+// monolithic run of the same spec, which is the contract every fan-out
+// transport (phi-fleet subprocesses, SSH, Kubernetes) is built on.
+func ExampleMergeSweepResults() {
+	s := fleet.Sweep{
+		Benchmarks: []string{"DGEMM"},
+		Models:     []fault.Model{fault.Single},
+		N:          8,
+		Seed:       11, BenchSeed: 1, Workers: 1,
+	}
+	ctx := context.Background()
+
+	var parts []*fleet.SweepResult
+	for k := 0; k < 2; k++ {
+		p, err := s.RunShard(ctx, k, 2)
+		if err != nil {
+			panic(err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := fleet.MergeSweepResults(parts...)
+	if err != nil {
+		panic(err)
+	}
+
+	mono, err := s.Run(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("merged == monolithic:", reflect.DeepEqual(merged, mono))
+	fmt.Println("injections:", merged.Cells[0].Result.Outcomes.Total())
+	// Output:
+	// merged == monolithic: true
+	// injections: 8
+}

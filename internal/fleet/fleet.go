@@ -11,6 +11,12 @@
 // Like bench.New, fleet resolves benchmarks through the registry: callers
 // must import the workload packages (typically phirel/internal/bench/all)
 // before running a sweep.
+//
+// The ObserveInjection/ObserveBeam hooks tap every cell's record stream as
+// it runs — the seam the resident reliability monitor (internal/monitor)
+// attaches through. Observers are execution details like Workers and
+// Progress: excluded from specs, canonical hashes, and artifacts, so an
+// observed sweep's artifact is byte-identical to an unobserved one.
 package fleet
 
 import (
@@ -75,6 +81,17 @@ type Sweep struct {
 	// Progress, when non-nil, is invoked with (done, total) cells — of
 	// both kinds — as the pool completes them. Calls are serialised.
 	Progress func(done, total int) `json:"-"`
+
+	// ObserveInjection and ObserveBeam, when non-nil, receive every record
+	// every cell of the matching kind produces, as it is produced — the
+	// seam a resident reliability monitor (internal/monitor) attaches to.
+	// Cells run concurrently, so calls arrive from multiple goroutines and
+	// observers must be safe for concurrent use; every record of a cell is
+	// delivered before the cell counts as done. Like Progress, observers
+	// are execution detail: they are never serialised into specs and do
+	// not affect the sweep's canonical hash or its artifact bytes.
+	ObserveInjection func(rec core.InjectionRecord) `json:"-"`
+	ObserveBeam      func(rec beam.Record)          `json:"-"`
 }
 
 // CellSpec identifies one campaign of the grid.
@@ -316,7 +333,7 @@ func (s Sweep) run(ctx context.Context, plan *ShardPlan) (*SweepResult, error) {
 				finish(nil, "")
 				return
 			}
-			res, err := core.RunCampaignContext(ctx, core.CampaignConfig{
+			cfg := core.CampaignConfig{
 				Benchmark: c.Benchmark,
 				N:         injRange.N,
 				Offset:    injRange.Offset,
@@ -325,7 +342,26 @@ func (s Sweep) run(ctx context.Context, plan *ShardPlan) (*SweepResult, error) {
 				Seed:      c.Seed,
 				BenchSeed: ns.BenchSeed,
 				Workers:   1,
-			})
+			}
+			// The observer drains a per-cell stream; the engine closes it
+			// when the campaign returns, and the drain is waited out so
+			// every record is observed before the cell counts as done.
+			var drained chan struct{}
+			if ns.ObserveInjection != nil {
+				ch := make(chan core.InjectionRecord, 256)
+				cfg.Stream = ch
+				drained = make(chan struct{})
+				go func() {
+					defer close(drained)
+					for rec := range ch {
+						ns.ObserveInjection(rec)
+					}
+				}()
+			}
+			res, err := core.RunCampaignContext(ctx, cfg)
+			if drained != nil {
+				<-drained
+			}
 			if err == nil {
 				out[i] = CellResult{CellSpec: c, Result: res}
 			}
@@ -341,8 +377,7 @@ func (s Sweep) run(ctx context.Context, plan *ShardPlan) (*SweepResult, error) {
 		}
 		dev, err := phi.NewDevice(c.Device)
 		if err == nil {
-			var res *beam.Result
-			res, err = beam.RunContext(ctx, beam.Config{
+			cfg := beam.Config{
 				Benchmark:  c.Benchmark,
 				Runs:       beamRange.N,
 				Offset:     beamRange.Offset,
@@ -351,7 +386,24 @@ func (s Sweep) run(ctx context.Context, plan *ShardPlan) (*SweepResult, error) {
 				Workers:    1,
 				Device:     dev,
 				DisableECC: c.DisableECC,
-			})
+			}
+			var drained chan struct{}
+			if ns.ObserveBeam != nil {
+				ch := make(chan beam.Record, 256)
+				cfg.Stream = ch
+				drained = make(chan struct{})
+				go func() {
+					defer close(drained)
+					for rec := range ch {
+						ns.ObserveBeam(rec)
+					}
+				}()
+			}
+			var res *beam.Result
+			res, err = beam.RunContext(ctx, cfg)
+			if drained != nil {
+				<-drained
+			}
 			if err == nil {
 				beamOut[j] = BeamCellResult{BeamCellSpec: c, Result: res}
 			}

@@ -1,0 +1,53 @@
+package monitor
+
+import (
+	"phirel/internal/beam"
+	"phirel/internal/core"
+)
+
+// StreamRecord is the union of record types a campaign Stream channel
+// carries: CAROL-FI injection records and accelerated beam records.
+type StreamRecord interface {
+	core.InjectionRecord | beam.Record
+}
+
+// Attachment is a running Attach consumer.
+type Attachment struct {
+	done chan struct{}
+}
+
+// Wait blocks until the attached stream closes and every forwarded
+// channel has been closed in turn. Call it after the campaign returns
+// (the engine closes its Stream channel on return) to be sure the final
+// Snapshot covers every record.
+func (a *Attachment) Wait() { <-a.done }
+
+// Attach consumes a campaign Stream channel into the monitor, optionally
+// forwarding every record to outs (a tee for e.g. a JSONL log writer).
+// It returns immediately; the consumer goroutine observes each record,
+// then delivers it to every out in order, and closes the outs when ch
+// closes — mirroring the engine's own close-on-return contract, so an
+// out channel can feed trace.CopyOrdered unchanged.
+func Attach[R StreamRecord](m *Monitor, ch <-chan R, outs ...chan<- R) *Attachment {
+	a := &Attachment{done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		defer func() {
+			for _, out := range outs {
+				close(out)
+			}
+		}()
+		for rec := range ch {
+			switch r := any(rec).(type) {
+			case core.InjectionRecord:
+				m.ObserveInjection(r)
+			case beam.Record:
+				m.ObserveBeam(r)
+			}
+			for _, out := range outs {
+				out <- rec
+			}
+		}
+	}()
+	return a
+}

@@ -1,0 +1,51 @@
+package monitor
+
+import "phirel/internal/fleet"
+
+// ConvergencePoint is one row of a convergence series: the snapshot of
+// the monitor after consuming a prefix of the sweep's cells.
+type ConvergencePoint struct {
+	// Cells is the number of grid cells folded so far.
+	Cells int `json:"cells"`
+	// Snapshot is the rolling estimate at that point.
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// maxConvergencePoints caps the series length so convergence tables stay
+// readable for large grids; the prefix points are evenly strided and the
+// final (complete) point is always included.
+const maxConvergencePoints = 12
+
+// Convergence replays a finished sweep artifact through a monitor cell by
+// cell, in grid enumeration order, and returns the rolling estimates at
+// increasing trial counts — estimate ± CI vs. trials consumed, the series
+// internal/figures renders as the monitor convergence table. The last
+// point always covers the whole artifact, so its snapshot equals
+// FromSweep of the same artifact.
+func Convergence(res *fleet.SweepResult, cfg Config) ([]ConvergencePoint, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := len(res.Cells) + len(res.BeamCells)
+	if total == 0 {
+		return nil, nil
+	}
+	stride := (total + maxConvergencePoints - 1) / maxConvergencePoints
+	var points []ConvergencePoint
+	for i := 0; i < total; i++ {
+		// Feed one cell as a single-cell partial; tallies are additive, so
+		// the cumulative fold equals one batch fold of the prefix.
+		part := fleet.SweepResult{Spec: res.Spec}
+		if i < len(res.Cells) {
+			part.Cells = res.Cells[i : i+1]
+		} else {
+			part.BeamCells = res.BeamCells[i-len(res.Cells) : i-len(res.Cells)+1]
+		}
+		m.ObserveSweep(&part)
+		if (i+1)%stride == 0 || i == total-1 {
+			points = append(points, ConvergencePoint{Cells: i + 1, Snapshot: m.Snapshot()})
+		}
+	}
+	return points, nil
+}

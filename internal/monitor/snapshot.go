@@ -1,0 +1,93 @@
+package monitor
+
+import (
+	"math"
+
+	"phirel/internal/analysis"
+)
+
+// SchemaV1 tags the snapshot wire form; a committed golden locks it.
+const SchemaV1 = "phirel-monitor-v1"
+
+// Rate is one rolling FIT estimate with its Wilson confidence interval
+// and the derived MTBF.
+type Rate struct {
+	// FIT is the point estimate at the reference temperature; FITLo/FITHi
+	// its 95% Wilson interval.
+	FIT   float64 `json:"fit"`
+	FITLo float64 `json:"fitLo"`
+	FITHi float64 `json:"fitHi"`
+	// AccelFIT is FIT scaled by the snapshot's Arrhenius acceleration
+	// factor (equal to FIT at the reference temperature).
+	AccelFIT float64 `json:"accelFit"`
+	// MTBFHours is 10⁹/FIT; 0 when FIT is 0, because JSON cannot carry
+	// the +Inf the analytical form produces.
+	MTBFHours float64 `json:"mtbfHours"`
+	// K outcome events in N trials back the estimate.
+	K int `json:"k"`
+	N int `json:"n"`
+}
+
+// newRate converts an analysis fit into the wire form, applying the
+// acceleration factor and flattening the infinite MTBF of a zero rate.
+func newRate(est analysis.FITEstimate, af float64) Rate {
+	mtbf := analysis.MTBFHours(est.FIT)
+	if math.IsInf(mtbf, 0) {
+		mtbf = 0
+	}
+	return Rate{
+		FIT: est.FIT, FITLo: est.CI.Lo, FITHi: est.CI.Hi,
+		AccelFIT:  est.FIT * af,
+		MTBFHours: mtbf,
+		K:         est.K, N: est.N,
+	}
+}
+
+// Group is one named estimate group: the aggregate, a benchmark, or a
+// fault model.
+type Group struct {
+	Name   string `json:"name"`
+	Trials int    `json:"trials"`
+	SDC    Rate   `json:"sdc"`
+	DUE    Rate   `json:"due"`
+}
+
+// RegionGroup is one corruption region's AVF-weighted share of the
+// injection-class harmful FIT: FIT = rawFIT · occupancy · AVF, where
+// occupancy is the region's share of fault samples and AVF its un-masked
+// share. Region contributions sum to the injection records' total
+// harmful (SDC + DUE) FIT.
+type RegionGroup struct {
+	Name   string `json:"name"`
+	Trials int    `json:"trials"`
+	// AVF is the architectural vulnerability factor: the share of the
+	// region's sampled faults that were not masked.
+	AVF float64 `json:"avf"`
+	// FIT is the region's harmful-FIT contribution at the reference
+	// temperature; AccelFIT the same under the Arrhenius factor.
+	FIT      float64 `json:"fit"`
+	AccelFIT float64 `json:"accelFit"`
+}
+
+// Snapshot is one rolling estimate of the monitored campaign, the JSON
+// payload of phi-serve's monitor endpoint and the -monitor-jsonl streams.
+// Group slices are sorted by name, so equal tallies marshal to equal
+// bytes.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	// Device is the phi device model backing the raw fault rates.
+	Device string `json:"device"`
+	// TempK is the configured operating temperature (0 = reference) and
+	// AccelFactor the Arrhenius acceleration it induces.
+	TempK       float64 `json:"tempK"`
+	AccelFactor float64 `json:"accelFactor"`
+	// Trials is the total number of records consumed.
+	Trials     int     `json:"trials"`
+	Aggregate  Group   `json:"aggregate"`
+	Benchmarks []Group `json:"benchmarks,omitempty"`
+	// Models breaks the estimates down by fault model; beam records tally
+	// under the "beam" key.
+	Models []Group `json:"models,omitempty"`
+	// Regions is the AVF breakdown over injection records.
+	Regions []RegionGroup `json:"regions,omitempty"`
+}

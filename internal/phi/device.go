@@ -89,6 +89,13 @@ type Device struct {
 	// PBurstEscape is the probability that an SRAM upset is a wide burst
 	// that defeats SECDED silently (interleaving failure).
 	PBurstEscape float64
+	// ActivationEnergyEV and RefTempK parameterise the Arrhenius
+	// temperature-acceleration model (see AccelerationFactor): the thermal
+	// activation energy in eV and the reference junction temperature in
+	// kelvin at which the acceleration factor is 1. Zero values select the
+	// KNC literature defaults.
+	ActivationEnergyEV float64
+	RefTempK           float64
 }
 
 const mbit = 1024 * 1024
@@ -117,9 +124,11 @@ func NewKNC3120A() *Device {
 			// Ring-stop buffers (~1 Mbit).
 			{Name: "ring", Class: Interconnect, Bits: 1 * mbit, ECC: NoECC},
 		},
-		SigmaBit:     sigmaBitKNC,
-		PDoubleBit:   0.004,
-		PBurstEscape: 0.002,
+		SigmaBit:           sigmaBitKNC,
+		PDoubleBit:         0.004,
+		PBurstEscape:       0.002,
+		ActivationEnergyEV: DefaultActivationEnergyEV,
+		RefTempK:           DefaultRefTempK,
 	}
 }
 
@@ -142,9 +151,11 @@ func NewKNC5110P() *Device {
 			{Name: "dispatch", Class: Scheduler, Bits: 0.53 * mbit, ECC: NoECC},
 			{Name: "ring", Class: Interconnect, Bits: 1.05 * mbit, ECC: NoECC},
 		},
-		SigmaBit:     sigmaBitKNC,
-		PDoubleBit:   0.004,
-		PBurstEscape: 0.002,
+		SigmaBit:           sigmaBitKNC,
+		PDoubleBit:         0.004,
+		PBurstEscape:       0.002,
+		ActivationEnergyEV: DefaultActivationEnergyEV,
+		RefTempK:           DefaultRefTempK,
 	}
 }
 

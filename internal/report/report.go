@@ -1,5 +1,8 @@
 // Package report renders campaign results as aligned ASCII tables, CSV,
 // and terminal bar charts — the textual equivalents of the paper's figures.
+// It is the dependency-free base of the presentation layer: internal/figures
+// builds every paper table on Table, and the serve figures endpoint ships
+// the same tables as JSON (Table marshals its title, headers, and rows).
 package report
 
 import (

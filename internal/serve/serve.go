@@ -56,13 +56,22 @@
 //	    the sweep is still queued/running, 410 cancelled, 502 failed.
 //	GET /v1/sweeps/{id}/events
 //	    Server-sent events: "progress" events carrying distrib.Event
-//	    JSON (fan-out-wide done/total) as workers report, then one
+//	    JSON (fan-out-wide done/total) as workers report, interleaved
+//	    with periodic "monitor" events carrying monitor.Snapshot JSON
+//	    (re-emitted as shard partials land, and once more — from the
+//	    merged result — right before the terminal event), then one
 //	    terminal "done" event carrying the final Status JSON. A finished
 //	    sweep replays its terminal event immediately.
 //	GET /v1/sweeps/{id}/figures
 //	    200 + the rendered paper tables/figures for a done sweep
 //	    (figures.SweepGroups as JSON; ?format=text for ASCII tables).
 //	    Same non-done codes as /result.
+//	GET /v1/sweeps/{id}/monitor
+//	    200 + the current rolling FIT/MTBF snapshot (monitor.Snapshot
+//	    JSON wrapped with the sweep id and state). Live sweeps fold the
+//	    shard partials landed so far (zero trials before the first shard
+//	    finishes); done sweeps fold the merged result, which equals the
+//	    post-hoc analysis fit exactly. 410 cancelled, 502 failed.
 //	DELETE /v1/sweeps/{id}
 //	    Cancels the sweep's job (204); cancelling a finished sweep is a
 //	    no-op (204), unknown ids 404.
@@ -126,11 +135,15 @@ type Links struct {
 	Result  string `json:"result"`
 	Events  string `json:"events"`
 	Figures string `json:"figures"`
+	Monitor string `json:"monitor"`
 }
 
 func linksFor(id string) Links {
 	base := "/v1/sweeps/" + id
-	return Links{Self: base, Result: base + "/result", Events: base + "/events", Figures: base + "/figures"}
+	return Links{
+		Self: base, Result: base + "/result", Events: base + "/events",
+		Figures: base + "/figures", Monitor: base + "/monitor",
+	}
 }
 
 // entry is one sweep the server knows about: an in-flight job, a finished
@@ -252,6 +265,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/figures", s.handleFigures)
+	mux.HandleFunc("GET /v1/sweeps/{id}/monitor", s.handleMonitor)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -687,11 +701,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	defer stop()
 
+	// monitorFrame emits a "monitor" event carrying the current rolling
+	// FIT/MTBF snapshot. Live snapshots are rebuilt from the shard
+	// partials landed so far, so re-rendering is skipped until the landed
+	// count changes; the terminal frame always re-renders from the merged
+	// result (force), making the stream's last monitor frame the exact
+	// post-hoc fit.
+	lastParts := -1
+	monitorFrame := func(force bool) {
+		snap, parts, err := s.monitorSnapshot(e)
+		if err != nil {
+			return
+		}
+		if !force && parts == lastParts {
+			return
+		}
+		lastParts = parts
+		sse("monitor", snap)
+	}
+
 	// Opening snapshot, so a subscriber joining mid-run sees the current
 	// position before the next worker report arrives.
 	if !e.terminal() {
 		st := s.status(e)
 		sse("progress", progressEvent(distrib.Progress{Done: st.Done, Total: st.Total}))
+		monitorFrame(false)
 	}
 	for ch != nil {
 		select {
@@ -701,6 +735,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			sse("progress", progressEvent(p))
+			monitorFrame(false)
 		case <-r.Context().Done():
 			return
 		case <-e.done:
@@ -712,6 +747,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	case <-e.done:
 	case <-r.Context().Done():
 		return
+	}
+	if e.err == nil {
+		monitorFrame(true)
 	}
 	sse("done", s.status(e))
 }

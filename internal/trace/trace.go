@@ -1,7 +1,13 @@
 // Package trace serialises campaign records as JSON Lines, mirroring the
 // paper's public log release (the UFRGS-CAROL sc17-log-data repository):
 // every injection and beam run is one self-describing JSON object, and the
-// report tool re-derives every table from the logs alone.
+// report tool re-derives every table from the logs alone. The same Writer
+// carries the -monitor-jsonl snapshot streams of phi-bench and phi-beam —
+// any JSON-marshalable record type, one object per line.
+//
+// Campaign engines deliver streamed records in trial order already;
+// CopyOrdered is the resequencer for consumers that receive records out of
+// order (it buffers by sequence number and writes each exactly once).
 package trace
 
 import (
