@@ -16,6 +16,7 @@
 //	          [-shard k/K] [-out sweep.json] [-monitor-jsonl mon.jsonl]
 //	phi-bench -spec spec.json [-shard k/K | -plan k/K:injOff+injN:beamOff+beamN]
 //	          [-progress-jsonl] [-out -] [-frame-out]
+//	          [-checkpoint-out ck.json -checkpoint-every 1000] [-resume-from ck.json]
 //
 // With -shard k/K (1-based) the sweep runs only the k-th of K deterministic
 // slices of every cell's trials; the K partials fold back into the
@@ -33,6 +34,13 @@
 // the stdout artifact in distrib's base64 sentinel frame, which survives
 // transports that merge stdout and stderr into one line stream — the
 // Kubernetes pod log the phi-fleet -k8s launcher reads partials back from.
+//
+// -checkpoint-out with -checkpoint-every N makes a shard worker elastic: a
+// valid shard-partial artifact covering the contiguous trial prefix
+// completed so far lands (atomically) every N trials, and -resume-from
+// picks a prior attempt's checkpoint back up, computing only the remaining
+// ranges. Both require -shard or -plan — a monolithic run has no shard plan
+// to checkpoint — and neither changes the final artifact's bytes.
 package main
 
 import (
@@ -68,6 +76,10 @@ func main() {
 		specArg   = flag.String("spec", "", "sweep: read the whole sweep spec from this fleet spec JSON file ('-' = stdin) instead of the grid flags; implies -sweep")
 		progJSONL = flag.Bool("progress-jsonl", false, "sweep: emit machine-readable JSONL progress events on stderr (the phi-fleet protocol)")
 		frameOut  = flag.Bool("frame-out", false, "sweep: with -out -, wrap the artifact in the base64 sentinel frame that survives stream-merging transports (Kubernetes pod logs)")
+
+		ckOut    = flag.String("checkpoint-out", "", "sweep: land a valid shard-partial checkpoint here (tmp+rename) every -checkpoint-every trials; needs -shard or -plan")
+		ckEvery  = flag.Int("checkpoint-every", 0, "sweep: checkpoint cadence in trials (0 = no periodic checkpoints)")
+		ckResume = flag.String("resume-from", "", "sweep: resume from this checkpoint artifact, computing only the remaining ranges; an unusable checkpoint degrades to the full plan")
 	)
 	var prof cli.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -87,6 +99,7 @@ func main() {
 			grid: &grid, mon: &mon, out: *out,
 			shard: *shardArg, plan: *planArg, spec: *specArg, progressJSONL: *progJSONL,
 			frameOut: *frameOut,
+			ckOut:    *ckOut, ckEvery: *ckEvery, ckResume: *ckResume,
 		})
 		return
 	}
@@ -129,6 +142,9 @@ type sweepOpts struct {
 	spec          string
 	progressJSONL bool
 	frameOut      bool
+	ckOut         string
+	ckEvery       int
+	ckResume      string
 }
 
 // parseShard parses the 1-based "k/K" shard syntax into a 0-based index
@@ -192,11 +208,31 @@ func runSweep(o sweepOpts) {
 		}
 	}
 
+	elastic := o.ckOut != "" || o.ckResume != ""
+	if elastic && o.shard == "" && o.plan == "" {
+		fatal(fmt.Errorf("-checkpoint-out and -resume-from need -shard or -plan: a monolithic run has no shard plan to checkpoint"))
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
 	var res *fleet.SweepResult
 	switch {
+	case elastic:
+		p := fleet.ShardPlan{}
+		if plan != nil {
+			p = *plan
+		} else if p, err = s.Plan(k, count); err != nil {
+			fatal(err)
+		}
+		res, err = s.RunPlanCheckpointed(ctx, p, fleet.Checkpoint{
+			Out:    o.ckOut,
+			Every:  o.ckEvery,
+			Resume: o.ckResume,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "phi-bench: "+format+"\n", args...)
+			},
+		})
 	case plan != nil:
 		res, err = s.RunPlan(ctx, *plan)
 	case o.shard != "":

@@ -13,12 +13,21 @@
 //	phi-fleet -shards 3 -spec spec.json -worker-cmd "bin/phi-bench" -out sweep.json
 //	phi-fleet -shards 8 -ssh node1,node2,node3 -ssh-bin /opt/phirel/phi-bench -out sweep.json
 //	phi-fleet -shards 16 -k8s -k8s-image ghcr.io/you/phirel:latest -k8s-namespace phirel -out sweep.json
+//	phi-fleet -shards 8 -checkpoint-every 2000 -steal-interval 30s -out sweep.json
 //
 // The grid flags mirror phi-bench -sweep exactly, so swapping one command
 // for the other changes nothing about the resulting artifact. Workers are
 // resolved in this order: -k8s (one Kubernetes Job per shard, via kubectl),
 // -ssh (remote), -worker-cmd (explicit local command), a phi-bench binary
 // next to the phi-fleet executable, phi-bench from PATH.
+//
+// With -checkpoint-every N every worker periodically lands a valid partial
+// covering its completed trial prefix, and a relaunched worker resumes
+// from it instead of recomputing from trial zero. Adding -steal-interval
+// arms the straggler watchdog: shards lagging the fleet's median progress
+// rate are cancelled at a checkpoint boundary and their remaining trials
+// re-split across idle slots. Both leave the merged artifact byte-identical
+// to the uninterrupted run.
 package main
 
 import (

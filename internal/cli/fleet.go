@@ -17,11 +17,15 @@ import (
 // assembly goes through distrib.Options.Validate, so the CLI surfaces and
 // the scheduler cannot drift on what a legal fan-out config is.
 type FleetFlags struct {
-	Shards        int
-	Timeout       time.Duration
-	Retries       int
-	Backoff       time.Duration
-	MaxConcurrent int
+	Shards          int
+	Timeout         time.Duration
+	Retries         int
+	Backoff         time.Duration
+	MaxConcurrent   int
+	CheckpointEvery int
+	StealInterval   time.Duration
+	StealFactor     float64
+	StealWays       int
 }
 
 // Register installs the supervision flags on fs with distrib.Defaults as
@@ -33,19 +37,27 @@ func (f *FleetFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Retries, "retries", d.Retries, "relaunches per crashed/timed-out/corrupt-output shard beyond its first attempt")
 	fs.DurationVar(&f.Backoff, "backoff", d.Backoff, "delay before a shard's first retry (doubles per retry)")
 	fs.IntVar(&f.MaxConcurrent, "max-concurrent", d.MaxConcurrent, "max shards in flight at once (0 = no cap; one shared budget across jobs)")
+	fs.IntVar(&f.CheckpointEvery, "checkpoint-every", d.CheckpointEvery, "shard checkpoint cadence in trials: relaunched shards resume instead of recomputing (0 = off)")
+	fs.DurationVar(&f.StealInterval, "steal-interval", d.StealInterval, "straggler watchdog period: lagging shards are cancelled at a checkpoint and re-split (0 = off; needs -checkpoint-every)")
+	fs.Float64Var(&f.StealFactor, "steal-factor", d.StealFactor, "lag threshold: a shard is a straggler below this fraction of the fleet's median progress rate")
+	fs.IntVar(&f.StealWays, "steal-ways", d.StealWays, "how many sub-shards a stolen straggler's remainder is re-split into")
 }
 
 // Options assembles the validated distrib.Options the flags describe,
 // completed with the launcher and working directory the caller resolved.
 func (f *FleetFlags) Options(launcher distrib.Launcher, dir string) (distrib.Options, error) {
 	opts := distrib.Options{
-		Shards:        f.Shards,
-		Launcher:      launcher,
-		Dir:           dir,
-		Timeout:       f.Timeout,
-		Retries:       f.Retries,
-		Backoff:       f.Backoff,
-		MaxConcurrent: f.MaxConcurrent,
+		Shards:          f.Shards,
+		Launcher:        launcher,
+		Dir:             dir,
+		Timeout:         f.Timeout,
+		Retries:         f.Retries,
+		Backoff:         f.Backoff,
+		MaxConcurrent:   f.MaxConcurrent,
+		CheckpointEvery: f.CheckpointEvery,
+		StealInterval:   f.StealInterval,
+		StealFactor:     f.StealFactor,
+		StealWays:       f.StealWays,
 	}
 	if err := opts.Validate(); err != nil {
 		return distrib.Options{}, err

@@ -30,6 +30,10 @@ import (
 //     failure evidence (stderr tail surfaced);
 //   - a worker that "succeeds" while leaving an unusable artifact is caught
 //     by revalidation and retried (corrupt-partial revalidation).
+//   - a worker killed mid-shard after landing a checkpoint is relaunched
+//     with the checkpoint mounted: the retry computes exactly the trials
+//     the checkpoint does not cover, and the merge still holds
+//     (preemption resume).
 //
 // New backends plug in by adding a confFixture; the table does the rest.
 
@@ -42,6 +46,7 @@ const (
 	confHangShard0           // shard 0 never finishes on its own; only a kill ends it
 	confAlwaysCrash          // every attempt of every shard fails, leaving a diagnostic tail line
 	confCorruptOnce          // every shard's first attempt exits cleanly with an unusable partial
+	confPreempt              // every shard dies right after its first checkpoint; the retry must resume
 )
 
 // confFixture adapts one Launcher backend to the conformance table.
@@ -124,6 +129,10 @@ func conformanceFixtures() []confFixture {
 					case confCorruptOnce:
 						if attempt == 0 {
 							return podCorrupt
+						}
+					case confPreempt:
+						if attempt == 0 {
+							return podPreempt
 						}
 					}
 					return podSucceed
@@ -279,6 +288,62 @@ func TestLauncherConformanceSweep(t *testing.T) {
 				joined := logs.joined()
 				if !strings.Contains(joined, "unusable") && !strings.Contains(joined, "corrupt") {
 					t.Fatalf("supervisor never reported the corrupt partial:\n%s", joined)
+				}
+			})
+
+			t.Run("PreemptionResumesFromCheckpoint", func(t *testing.T) {
+				// Every shard is killed right after its first checkpoint
+				// lands; the relaunch must mount that checkpoint and compute
+				// exactly the remainder. The knobs ride the test process
+				// environment, which all three fixtures inherit — set them
+				// before the fixture captures its worker env.
+				trialsDir := t.TempDir()
+				t.Setenv("PHIREL_FAKE_TRIALS_LOG_DIR", trialsDir)
+				t.Setenv("PHIREL_FAKE_DIE_AFTER_CKPT_DIR", t.TempDir())
+				logs := &confLogs{}
+				merged, err := Run(context.Background(), spec, Options{
+					Shards:   2,
+					Launcher: fx.launcher(t, confPreempt),
+					Dir:      t.TempDir(),
+					Retries:  1, Backoff: time.Millisecond,
+					CheckpointEvery: 2,
+					Logf:            logs.logf,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(monoJSON, artifactBytes(t, merged)) {
+					t.Fatal("merge after mid-shard preemptions not byte-identical")
+				}
+				if !strings.Contains(logs.joined(), "resuming from checkpoint") {
+					t.Fatalf("supervisor never mounted a checkpoint on relaunch:\n%s", logs.joined())
+				}
+				for k := 0; k < 2; k++ {
+					plan, err := spec.Plan(k, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					attempts := readWorkerTrials(t, trialsDir, k)
+					if len(attempts) != 2 {
+						t.Fatalf("shard %d ran %d attempts, want 2 (preempted + resumed)", k, len(attempts))
+					}
+					first, second := attempts[0], attempts[1]
+					if first.ResumedInj != 0 || first.ResumedBeam != 0 {
+						t.Fatalf("shard %d first attempt claims resumed trials: %+v", k, first)
+					}
+					if second.ResumedInj+second.ResumedBeam == 0 {
+						t.Fatalf("shard %d retry resumed nothing from the checkpoint: %+v", k, second)
+					}
+					// Conservation: resumed + recomputed covers the shard's
+					// extent exactly — and strictly fewer trials recomputed
+					// than the full shard, per dimension with banked work.
+					if second.ResumedInj+second.ComputedInj != plan.Injection.N ||
+						second.ResumedBeam+second.ComputedBeam != plan.Beam.N {
+						t.Fatalf("shard %d retry does not tile the plan %v: %+v", k, plan, second)
+					}
+					if second.ComputedInj+second.ComputedBeam >= plan.Injection.N+plan.Beam.N {
+						t.Fatalf("shard %d retry recomputed the whole shard: %+v vs plan %v", k, second, plan)
+					}
 				}
 			})
 		})

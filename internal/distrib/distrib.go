@@ -80,6 +80,20 @@ type Task struct {
 	// Index/Count must agree with Shard/Count. The partial-overlap cache
 	// uses this to compute only the ranges a cached prefix is missing.
 	Plan *fleet.ShardPlan
+	// CheckpointPath, when non-empty, is where the worker periodically
+	// lands a valid shard-partial checkpoint (phi-bench -checkpoint-out),
+	// and where the supervisor looks for resumable progress when it
+	// relaunches the shard. The path is used verbatim on the worker side,
+	// so remote launchers need it on storage both sides can reach.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in trials (phi-bench
+	// -checkpoint-every); meaningful only with CheckpointPath.
+	CheckpointEvery int
+	// ResumeFrom, when non-empty, tells the worker to resume from this
+	// checkpoint artifact (phi-bench -resume-from) and compute only the
+	// remaining ranges. The supervisor sets it per attempt after
+	// validating the checkpoint; callers leave it empty.
+	ResumeFrom string
 }
 
 // ShardArg renders the task's position in phi-bench's 1-based -shard form.

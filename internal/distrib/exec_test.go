@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -40,6 +41,13 @@ func TestMain(m *testing.M) {
 //	  the supervisor's revalidation must catch.
 //	PHIREL_FAKE_HANG=k — shard k blocks forever, so only a launcher-side
 //	  kill (per-attempt timeout) can end it.
+//	PHIREL_FAKE_DIE_AFTER_CKPT_DIR — each shard's first checkpointing
+//	  attempt exits 3 right after its first checkpoint lands (marker-
+//	  tracked), the mid-shard preemption the elastic resume path exists for.
+//	PHIREL_FAKE_TRIALS_LOG_DIR — every attempt appends one JSON line to
+//	  trials-<k>.log recording the trials it resumed from a checkpoint and
+//	  the trials it set out to compute, so tests can prove a resumed attempt
+//	  recomputes exactly the remainder.
 func fakeWorker() int {
 	args := os.Args[1:]
 	// An ssh transport invokes "<fake-ssh> [ssh opts] host bin <worker
@@ -48,7 +56,8 @@ func fakeWorker() int {
 	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		args = args[1:]
 	}
-	var specArg, shardArg, outArg string
+	var specArg, shardArg, outArg, planArg, ckOut, resumeFrom string
+	var ckEvery int
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-sweep", "-progress-jsonl", "-frame-out":
@@ -58,20 +67,43 @@ func fakeWorker() int {
 		case "-shard":
 			i++
 			shardArg = args[i]
+		case "-plan":
+			i++
+			planArg = args[i]
 		case "-out":
 			i++
 			outArg = args[i]
+		case "-checkpoint-out":
+			i++
+			ckOut = args[i]
+		case "-checkpoint-every":
+			i++
+			ckEvery, _ = strconv.Atoi(args[i])
+		case "-resume-from":
+			i++
+			resumeFrom = args[i]
 		default:
 			fmt.Fprintf(os.Stderr, "fake worker: unexpected arg %q\n", args[i])
 			return 2
 		}
 	}
 	var k, count int
-	if _, err := fmt.Sscanf(shardArg, "%d/%d", &k, &count); err != nil {
-		fmt.Fprintf(os.Stderr, "fake worker: bad -shard %q\n", shardArg)
-		return 2
+	var explicitPlan *fleet.ShardPlan
+	if planArg != "" {
+		p, err := ParsePlanArg(planArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fake worker: bad -plan %q: %v\n", planArg, err)
+			return 2
+		}
+		explicitPlan = &p
+		k, count = p.Index, p.Count
+	} else {
+		if _, err := fmt.Sscanf(shardArg, "%d/%d", &k, &count); err != nil {
+			fmt.Fprintf(os.Stderr, "fake worker: bad -shard %q\n", shardArg)
+			return 2
+		}
+		k--
 	}
-	k--
 
 	if os.Getenv("PHIREL_FAKE_FAIL_ALWAYS") == "1" {
 		fmt.Fprintf(os.Stderr, "boom-from-shard-%d\n", k)
@@ -122,7 +154,36 @@ func fakeWorker() int {
 	spec.Progress = func(done, total int) {
 		enc.Encode(Event{Event: EventName, Shard: k, Count: count, Done: done, Total: total})
 	}
-	res, err := spec.RunShard(context.Background(), k, count)
+	var res *fleet.SweepResult
+	if explicitPlan != nil || ckOut != "" || resumeFrom != "" {
+		plan := fleet.ShardPlan{}
+		if explicitPlan != nil {
+			plan = *explicitPlan
+		} else if plan, err = spec.Plan(k, count); err != nil {
+			fmt.Fprintln(os.Stderr, "fake worker:", err)
+			return 1
+		}
+		logWorkerTrials(spec, plan, resumeFrom, k)
+		ck := fleet.Checkpoint{
+			Out: ckOut, Every: ckEvery, Resume: resumeFrom,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "fake worker: "+format+"\n", a...)
+			},
+		}
+		if dir := os.Getenv("PHIREL_FAKE_DIE_AFTER_CKPT_DIR"); dir != "" && ckOut != "" {
+			marker := filepath.Join(dir, fmt.Sprintf("died-%d", k))
+			if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
+				ck.OnCheckpoint = func(fleet.ShardPlan) {
+					os.WriteFile(marker, nil, 0o644)
+					fmt.Fprintf(os.Stderr, "synthetic preemption of shard %d after first checkpoint\n", k)
+					os.Exit(3)
+				}
+			}
+		}
+		res, err = spec.RunPlanCheckpointed(context.Background(), plan, ck)
+	} else {
+		res, err = spec.RunShard(context.Background(), k, count)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fake worker:", err)
 		return 1
@@ -137,6 +198,64 @@ func fakeWorker() int {
 		return 1
 	}
 	return 0
+}
+
+// workerTrials is one attempt's accounting line in the
+// PHIREL_FAKE_TRIALS_LOG_DIR log: the trials the attempt salvaged from a
+// resume checkpoint and the trials it set out to compute, per dimension.
+type workerTrials struct {
+	Shard        int `json:"shard"`
+	ResumedInj   int `json:"resumedInj"`
+	ResumedBeam  int `json:"resumedBeam"`
+	ComputedInj  int `json:"computedInj"`
+	ComputedBeam int `json:"computedBeam"`
+}
+
+// logWorkerTrials appends this attempt's resumed/computed split to the
+// shard's trials log. Resumed counts come from the same LoadCheckpoint the
+// run itself performs, so the log records what the attempt actually did.
+// Shared by the subprocess fakeWorker and the in-process fake k8s pod.
+func logWorkerTrials(spec fleet.Sweep, plan fleet.ShardPlan, resumeFrom string, k int) {
+	dir := os.Getenv("PHIREL_FAKE_TRIALS_LOG_DIR")
+	if dir == "" {
+		return
+	}
+	wt := workerTrials{Shard: k, ComputedInj: plan.Injection.N, ComputedBeam: plan.Beam.N}
+	if resumeFrom != "" {
+		if part, rest, err := fleet.LoadCheckpoint(resumeFrom, spec, plan); err == nil {
+			wt.ResumedInj, wt.ResumedBeam = part.Shard.Injection.N, part.Shard.Beam.N
+			wt.ComputedInj, wt.ComputedBeam = rest.Injection.N, rest.Beam.N
+		}
+	}
+	line, err := json.Marshal(wt)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("trials-%d.log", k)),
+		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	f.Write(append(line, '\n'))
+	f.Close()
+}
+
+// readWorkerTrials parses a shard's trials log, one line per attempt.
+func readWorkerTrials(t *testing.T, dir string, k int) []workerTrials {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("trials-%d.log", k)))
+	if err != nil {
+		t.Fatalf("shard %d left no trials log: %v", k, err)
+	}
+	var out []workerTrials
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var wt workerTrials
+		if err := json.Unmarshal([]byte(line), &wt); err != nil {
+			t.Fatalf("shard %d trials log line %q: %v", k, line, err)
+		}
+		out = append(out, wt)
+	}
+	return out
 }
 
 func workerEnv(extra ...string) []string {

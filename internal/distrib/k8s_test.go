@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -33,6 +34,9 @@ const (
 	// log byte (node lost pre-start, image pull failure) — the log follower
 	// has nothing to drain and must not stall the attempt.
 	podNeverStarted
+	// podPreempt: the node reclaims the pod right after its first checkpoint
+	// lands — the mid-shard preemption the elastic resume path recovers from.
+	podPreempt
 )
 
 // fakeKube is the scripted in-memory cluster behind the kubeClient seam.
@@ -144,7 +148,53 @@ func (f *fakeKube) workerLog(ctx context.Context, w io.Writer, j *fakeJob) error
 		enc.Encode(Event{Event: EventName, Shard: j.shard, Count: j.count, Done: done, Total: total})
 	}
 	fmt.Fprintf(w, "pod: shard %d/%d starting\n", j.shard+1, j.count)
-	res, err := spec.RunShard(ctx, j.shard, j.count)
+	// The elastic worker flags ride the Job command line exactly as a real
+	// phi-bench container would receive them.
+	var planArg, ckOut, resumeFrom string
+	var ckEvery int
+	cmd := j.spec.Command
+	for i := 0; i < len(cmd); i++ {
+		switch cmd[i] {
+		case "-plan":
+			i++
+			planArg = cmd[i]
+		case "-checkpoint-out":
+			i++
+			ckOut = cmd[i]
+		case "-checkpoint-every":
+			i++
+			ckEvery, _ = strconv.Atoi(cmd[i])
+		case "-resume-from":
+			i++
+			resumeFrom = cmd[i]
+		}
+	}
+	var res *fleet.SweepResult
+	if planArg != "" || ckOut != "" || resumeFrom != "" {
+		plan := fleet.ShardPlan{}
+		if planArg != "" {
+			plan, err = ParsePlanArg(planArg)
+		} else {
+			plan, err = spec.Plan(j.shard, j.count)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "fake pod: %v\n", err)
+			return err
+		}
+		logWorkerTrials(spec, plan, resumeFrom, j.shard)
+		rctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ck := fleet.Checkpoint{Out: ckOut, Every: ckEvery, Resume: resumeFrom}
+		if j.mode == podPreempt {
+			ck.OnCheckpoint = func(fleet.ShardPlan) {
+				fmt.Fprintf(w, "pod: shard %d/%d preempted after first checkpoint\n", j.shard+1, j.count)
+				cancel()
+			}
+		}
+		res, err = spec.RunPlanCheckpointed(rctx, plan, ck)
+	} else {
+		res, err = spec.RunShard(ctx, j.shard, j.count)
+	}
 	if err != nil {
 		fmt.Fprintf(w, "fake pod: %v\n", err)
 		return err
@@ -169,7 +219,7 @@ func (f *fakeKube) followJobLogs(ctx context.Context, namespace, name string) (i
 	go func() {
 		defer close(j.logsDone)
 		switch j.mode {
-		case podSucceed, podCorrupt:
+		case podSucceed, podCorrupt, podPreempt:
 			f.workerLog(ctx, pw, j)
 			pw.Close()
 		case podCrashLoop:
@@ -233,6 +283,8 @@ func (f *fakeKube) awaitJob(ctx context.Context, namespace, name string) error {
 		return errors.New("job failed: pod deleted (node lost)")
 	case podHang:
 		return errors.New("job deleted before completion")
+	case podPreempt:
+		return errors.New("job failed: pod preempted (node reclaimed)")
 	}
 	return nil
 }

@@ -44,10 +44,24 @@ func WorkerArgs(task Task, streamIO bool) []string {
 	} else {
 		args = append(args, "-shard", task.ShardArg())
 	}
-	return append(args,
+	args = append(args,
 		"-progress-jsonl",
 		"-out", out,
 	)
+	// Checkpoint paths ride verbatim even under streamIO: the spec and the
+	// final partial cross machines in-band, but checkpoints are worker-local
+	// state — a resumed attempt reads them back where the worker runs, so
+	// remote transports need them on storage the worker can reach.
+	if task.CheckpointPath != "" {
+		args = append(args, "-checkpoint-out", task.CheckpointPath)
+		if task.CheckpointEvery > 0 {
+			args = append(args, "-checkpoint-every", fmt.Sprintf("%d", task.CheckpointEvery))
+		}
+	}
+	if task.ResumeFrom != "" {
+		args = append(args, "-resume-from", task.ResumeFrom)
+	}
+	return args
 }
 
 // waitDelay bounds how long a launcher waits for a killed worker's pipes

@@ -36,6 +36,26 @@ type Options struct {
 	// granted strictly in submission order, so an earlier job's shards
 	// never wait behind a later job's.
 	MaxConcurrent int
+	// CheckpointEvery, when > 0, makes every shard worker checkpoint its
+	// partial every CheckpointEvery trials (phi-bench -checkpoint-out next
+	// to the shard's partial path), and makes the supervisor resume a
+	// relaunched shard from its newest valid checkpoint instead of
+	// recomputing from trial zero. 0 disables checkpointing.
+	CheckpointEvery int
+	// StealInterval, when > 0, arms the straggler watchdog: every
+	// StealInterval the scheduler compares per-shard progress rates, and a
+	// shard lagging the fleet median (see StealFactor) is cancelled at a
+	// checkpoint boundary and its remaining trials re-split across idle
+	// slots. Requires CheckpointEvery > 0 — stealing without checkpoints
+	// would forfeit the straggler's completed trials. 0 disables stealing.
+	StealInterval time.Duration
+	// StealFactor is the lag threshold: a shard is a straggler when its
+	// fractional progress rate falls below StealFactor times the fleet
+	// median. Must be in (0, 1]; Defaults sets 0.5.
+	StealFactor float64
+	// StealWays is how many sub-shards a stolen straggler's remainder is
+	// re-split into. Must be >= 2; Defaults sets 2.
+	StealWays int
 	// Progress, when non-nil, receives aggregated job-wide samples as
 	// workers report. Calls are serialised. Under a Scheduler every job
 	// feeds the same hook; per-job streams come from Job.Subscribe.
@@ -52,9 +72,11 @@ type Options struct {
 // fields with no sensible default, and Validate requires them.
 func Defaults() Options {
 	return Options{
-		Shards:  3,
-		Retries: 1,
-		Backoff: time.Second,
+		Shards:      3,
+		Retries:     1,
+		Backoff:     time.Second,
+		StealFactor: 0.5,
+		StealWays:   2,
 	}
 }
 
@@ -79,6 +101,20 @@ func (o Options) Validate() error {
 		return fmt.Errorf("distrib: negative retry backoff %s", o.Backoff)
 	case o.MaxConcurrent < 0:
 		return fmt.Errorf("distrib: negative concurrency cap %d", o.MaxConcurrent)
+	case o.CheckpointEvery < 0:
+		return fmt.Errorf("distrib: negative checkpoint cadence %d", o.CheckpointEvery)
+	case o.StealInterval < 0:
+		return fmt.Errorf("distrib: negative steal interval %s", o.StealInterval)
+	}
+	if o.StealInterval > 0 {
+		switch {
+		case o.CheckpointEvery <= 0:
+			return errors.New("distrib: straggler stealing needs CheckpointEvery > 0 — cancelling an uncheckpointed shard would forfeit its completed trials")
+		case o.StealFactor <= 0 || o.StealFactor > 1:
+			return fmt.Errorf("distrib: steal factor %v outside (0, 1]", o.StealFactor)
+		case o.StealWays < 2:
+			return fmt.Errorf("distrib: re-splitting a straggler needs at least 2 ways, got %d", o.StealWays)
+		}
 	}
 	return nil
 }

@@ -50,36 +50,69 @@ type Progress struct {
 	Done, Total int
 }
 
+// muxShard is one worker's latest progress sample: how many units it has
+// completed out of how many it intends to run. A plain worker's total is
+// the cell count; a checkpointing worker chunks its run and reports
+// chunks×cells; a resumed worker reports only its remaining work.
+type muxShard struct {
+	done, total int
+}
+
 // progressMux folds per-shard progress events into fan-out-wide samples.
 // One mux serves the whole fan-out; the per-attempt stderr demux feeds it.
 // Samples are emitted with the lock held, so sink calls are serialised —
-// the same contract fleet.Sweep.Progress gives. Shard indices may be
-// sparse: a prefix-cached fan-out launches workers 1..S of an (S+1)-way
-// plan, shard 0 being the cached partial that never runs.
+// the same contract fleet.Sweep.Progress gives. Mux keys may be sparse: a
+// prefix-cached fan-out launches workers 1..S of an (S+1)-way plan (shard 0
+// being the cached partial that never runs), and re-split straggler
+// sub-workers report under synthetic keys >= the shard count.
 type progressMux struct {
-	mu    sync.Mutex
-	done  map[int]int
-	total int
-	sink  func(Progress)
+	mu     sync.Mutex
+	shards map[int]muxShard
+	expect int
+	cells  int
+	sink   func(Progress)
+
+	// observe, when non-nil, taps every report — the straggler watchdog's
+	// feed. Set before workers launch; called outside the mux lock.
+	observe func(shard, done, total int)
+	// onResumed and onStolen, when non-nil, receive trial counts salvaged
+	// by checkpoint resume and straggler re-splitting (the job's
+	// trialsResumed/trialsStolen counters). Set before workers launch.
+	onResumed func(trials int)
+	onStolen  func(trials int)
 }
 
 func newProgressMux(workers, cellsPerShard int, sink func(Progress)) *progressMux {
-	return &progressMux{done: map[int]int{}, total: workers * cellsPerShard, sink: sink}
+	return &progressMux{shards: map[int]muxShard{}, expect: workers, cells: cellsPerShard, sink: sink}
 }
 
-// report records shard's latest done count and emits an aggregate sample.
-func (m *progressMux) report(shard, done int) {
-	if m.sink == nil {
-		return
+// report records a worker's latest (done, total) and emits an aggregate
+// sample. total <= 0 defaults to the plain one-chunk cell count — the
+// shape of events from workers predating the checkpoint protocol. The
+// aggregate total counts each reporting worker's own claim plus the
+// default for expected workers yet to report, so it converges on the true
+// fan-out size as chunked or resumed workers announce theirs.
+func (m *progressMux) report(shard, done, total int) {
+	if total <= 0 {
+		total = m.cells
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.done[shard] = done
-	sum := 0
-	for _, d := range m.done {
-		sum += d
+	m.shards[shard] = muxShard{done: done, total: total}
+	if m.sink != nil {
+		sumDone, sumTotal := 0, 0
+		for _, sh := range m.shards {
+			sumDone += sh.done
+			sumTotal += sh.total
+		}
+		if missing := m.expect - len(m.shards); missing > 0 {
+			sumTotal += missing * m.cells
+		}
+		m.sink(Progress{Shard: shard, Done: sumDone, Total: sumTotal})
 	}
-	m.sink(Progress{Shard: shard, Done: sum, Total: m.total})
+	m.mu.Unlock()
+	if m.observe != nil {
+		m.observe(shard, done, total)
+	}
 }
 
 // reset zeroes a shard's tally when its worker is relaunched, so aggregate
@@ -87,7 +120,26 @@ func (m *progressMux) report(shard, done int) {
 func (m *progressMux) reset(shard int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.done[shard] = 0
+	sh := m.shards[shard]
+	sh.done = 0
+	if sh.total == 0 {
+		sh.total = m.cells
+	}
+	m.shards[shard] = sh
+}
+
+// addResumed credits trials salvaged by a checkpoint resume.
+func (m *progressMux) addResumed(trials int) {
+	if m.onResumed != nil && trials > 0 {
+		m.onResumed(trials)
+	}
+}
+
+// addStolen credits trials re-split off a cancelled straggler.
+func (m *progressMux) addStolen(trials int) {
+	if m.onStolen != nil && trials > 0 {
+		m.onStolen(trials)
+	}
 }
 
 // lineWriter buffers writes and hands complete lines to fn — the io.Writer

@@ -48,9 +48,9 @@ func TestParseEvent(t *testing.T) {
 func TestProgressMuxAggregatesAndResets(t *testing.T) {
 	var samples []Progress
 	m := newProgressMux(2, 3, func(p Progress) { samples = append(samples, p) })
-	m.report(0, 1)
-	m.report(1, 3)
-	m.report(0, 3)
+	m.report(0, 1, 0)
+	m.report(1, 3, 0)
+	m.report(0, 3, 0)
 	want := []Progress{
 		{Shard: 0, Done: 1, Total: 6},
 		{Shard: 1, Done: 4, Total: 6},
@@ -62,7 +62,7 @@ func TestProgressMuxAggregatesAndResets(t *testing.T) {
 	// A relaunched shard starts over; the aggregate must drop its stale
 	// tally rather than double-count.
 	m.reset(0)
-	m.report(0, 2)
+	m.report(0, 2, 0)
 	last := samples[len(samples)-1]
 	if last.Done != 5 || last.Total != 6 {
 		t.Fatalf("post-reset sample %+v, want 5/6", last)
@@ -71,7 +71,7 @@ func TestProgressMuxAggregatesAndResets(t *testing.T) {
 
 func TestProgressMuxNilSink(t *testing.T) {
 	m := newProgressMux(1, 3, nil)
-	m.report(0, 2) // must not panic
+	m.report(0, 2, 0) // must not panic
 	m.reset(0)
 }
 

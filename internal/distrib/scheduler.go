@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"phirel/internal/fleet"
 )
@@ -43,6 +45,13 @@ type JobStatus struct {
 	// (Total is K times the sweep's cell count, like Progress samples).
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// TrialsResumed counts cell-weighted trials salvaged from checkpoints
+	// when crashed/timed-out/preempted shards were relaunched — work the
+	// fleet did not have to redo.
+	TrialsResumed int64 `json:"trialsResumed,omitempty"`
+	// TrialsStolen counts cell-weighted trials re-split off straggler
+	// shards onto idle slots by the progress-rate watchdog.
+	TrialsStolen int64 `json:"trialsStolen,omitempty"`
 	// Err carries the failure text of a JobFailed job.
 	Err string `json:"error,omitempty"`
 }
@@ -53,6 +62,9 @@ type Job struct {
 	id     string
 	dir    string
 	cancel context.CancelFunc
+
+	resumed atomic.Int64
+	stolen  atomic.Int64
 
 	mu      sync.Mutex
 	state   JobState
@@ -77,12 +89,20 @@ func (j *Job) Dir() string { return j.dir }
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total}
+	st := JobStatus{
+		ID: j.id, State: j.state, Done: j.done, Total: j.total,
+		TrialsResumed: j.resumed.Load(), TrialsStolen: j.stolen.Load(),
+	}
 	if j.err != nil && j.state == JobFailed {
 		st.Err = j.err.Error()
 	}
 	return st
 }
+
+// addResumed and addStolen accumulate the job's elastic-execution counters
+// (cell-weighted trials; see JobStatus). Safe from any goroutine.
+func (j *Job) addResumed(n int) { j.resumed.Add(int64(n)) }
+func (j *Job) addStolen(n int)  { j.stolen.Add(int64(n)) }
 
 // Cancel stops the job: queued shards never launch, running workers are
 // killed. Sibling jobs are untouched — each job supervises its shards
@@ -333,6 +353,24 @@ func (s *Scheduler) start(spec fleet.Sweep, id, dir, logPrefix string, tasks []T
 	return job, nil
 }
 
+// shardRun tracks one primary shard's lifecycle under the steal protocol.
+// The state machine is a single CAS point: the supervising goroutine
+// claims running→finished when the shard concludes on its own, the
+// watchdog claims running→stolen to take it over, and whoever loses the
+// race abandons the outcome — a shard's result is owned by exactly one
+// side, never both.
+type shardRun struct {
+	task   Task
+	cancel context.CancelFunc
+	state  atomic.Int32
+}
+
+const (
+	shardRunning int32 = iota
+	shardFinished
+	shardStolen
+)
+
 // runJob supervises one job's fan-out to a terminal state.
 func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tasks []Task, tickets []*ticket, logPrefix string, mergePaths []string) {
 	defer s.wg.Done()
@@ -343,6 +381,10 @@ func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tas
 			inner(logPrefix+format, args...)
 		}
 	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	sink := job.emit
 	if opts.Progress != nil {
 		outer := opts.Progress
@@ -351,30 +393,125 @@ func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tas
 			outer(p)
 		}
 	}
+	if opts.CheckpointEvery > 0 {
+		// Elastic mode: every shard checkpoints next to its partial. The
+		// .ckpt suffix keeps checkpoints out of the sweep-shard-*.json
+		// globs that fleet-check and phi-merge fold.
+		for i := range tasks {
+			tasks[i].CheckpointPath = tasks[i].OutPath + ".ckpt"
+			tasks[i].CheckpointEvery = opts.CheckpointEvery
+		}
+	}
 	cellsPerShard := len(spec.Cells()) + len(spec.BeamCells())
 	mux := newProgressMux(len(tasks), cellsPerShard, sink)
+	mux.onResumed = job.addResumed
+	mux.onStolen = job.addStolen
+
+	var wd *watchdog
+	if opts.StealInterval > 0 && len(tasks) > 1 {
+		wd = newWatchdog(opts.StealFactor, opts.StealInterval)
+		mux.observe = func(key, done, total int) {
+			wd.observe(key, done, total, time.Now())
+		}
+	}
 
 	var wg sync.WaitGroup
 	failures := make([]*shardError, len(tasks))
+	runs := map[int]*shardRun{}
 	for i, t := range tasks {
+		sctx, scancel := context.WithCancel(jctx)
+		sr := &shardRun{task: t, cancel: scancel}
+		runs[t.Shard] = sr
+		if wd != nil {
+			wd.watch(t.Shard)
+		}
 		wg.Add(1)
-		go func(i int, t Task, tk *ticket) {
+		go func(i int, sr *shardRun, tk *ticket) {
 			defer wg.Done()
-			if s.budget.wait(jctx, tk) != nil {
+			defer sr.cancel()
+			if s.budget.wait(sctx, tk) != nil {
 				return // job (or scheduler) cancelled while queued
 			}
 			defer s.budget.release()
 			job.markRunning()
-			failures[i] = superviseShard(jctx, t, opts, mux)
-		}(i, t, tickets[i])
+			ferr := superviseShard(sctx, sr.task, opts, mux, sr.task.Shard)
+			if sr.state.CompareAndSwap(shardRunning, shardFinished) {
+				if wd != nil {
+					wd.exclude(sr.task.Shard)
+				}
+				failures[i] = ferr
+			}
+			// A lost CAS means the watchdog stole this shard mid-run; the
+			// re-split owns its outcome now.
+		}(i, sr, tickets[i])
 	}
+
+	// The watchdog ticker: on every interval, cancel each lagging shard at
+	// its checkpoint boundary and re-split the remainder across idle slots.
+	// Each shard is stolen at most once (exclude), and the steal goroutines
+	// are awaited after the primaries so the merge below sees every
+	// re-folded partial.
+	var stealWG sync.WaitGroup
+	var stealMu sync.Mutex
+	var stealFailures []*shardError
+	stolenCount := 0
+	stopWatch := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if wd != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			ticker := time.NewTicker(opts.StealInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopWatch:
+					return
+				case <-jctx.Done():
+					return
+				case <-ticker.C:
+				}
+				for _, key := range wd.lagging(time.Now()) {
+					sr := runs[key]
+					if sr == nil || !sr.state.CompareAndSwap(shardRunning, shardStolen) {
+						continue
+					}
+					wd.exclude(key)
+					logf("shard %s: lagging the fleet median — cancelling at checkpoint and re-splitting", sr.task.ShardArg())
+					stealMu.Lock()
+					idx := stolenCount
+					stolenCount++
+					stealMu.Unlock()
+					sr.cancel()
+					stealWG.Add(1)
+					go func(sr *shardRun, idx int) {
+						defer stealWG.Done()
+						if serr := s.resplitShard(jctx, sr.task, opts, mux, idx); serr != nil {
+							stealMu.Lock()
+							stealFailures = append(stealFailures, serr)
+							stealMu.Unlock()
+						}
+					}(sr, idx)
+				}
+			}
+		}()
+	}
+
 	wg.Wait()
+	if wd != nil {
+		close(stopWatch)
+		watchWG.Wait()
+	}
+	stealWG.Wait()
 
 	var msgs []string
 	for _, f := range failures {
 		if f != nil {
 			msgs = append(msgs, f.Error())
 		}
+	}
+	for _, f := range stealFailures {
+		msgs = append(msgs, f.Error())
 	}
 	switch {
 	case len(msgs) > 0:
@@ -390,6 +527,126 @@ func (s *Scheduler) runJob(jctx context.Context, job *Job, spec fleet.Sweep, tas
 		}
 		job.finish(JobDone, merged, nil)
 	}
+}
+
+// resplitShard finishes a stolen straggler: its newest valid checkpoint
+// banks the prefix (losing zero completed trials), the remainder is split
+// Options.StealWays ways across fresh explicit-plan sub-workers drawing on
+// the shared budget, and the folded result lands atomically at the
+// straggler's own partial path — so the job's merge is byte-identical to
+// the shard having run uninterrupted. Sub-worker partials use a .steal-*
+// suffix (outside the sweep-shard-*.json merge globs) and report progress
+// under synthetic mux keys above the primary shard indices.
+func (s *Scheduler) resplitShard(jctx context.Context, t Task, opts Options, mux *progressMux, stolenIdx int) *shardError {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	spec, err := fleet.ReadSpecFile(t.SpecPath)
+	if err != nil {
+		return &shardError{task: t, err: fmt.Errorf("re-split: %w", err)}
+	}
+	var plan fleet.ShardPlan
+	if t.Plan != nil {
+		plan = *t.Plan
+	} else if plan, err = spec.Plan(t.Shard, t.Count); err != nil {
+		return &shardError{task: t, err: fmt.Errorf("re-split: %w", err)}
+	}
+	var ckpt *fleet.SweepResult
+	work := plan
+	if t.CheckpointPath != "" {
+		if ck, rest, err := fleet.LoadCheckpoint(t.CheckpointPath, spec, plan); err == nil {
+			ckpt, work = ck, rest
+		}
+	}
+	stolen := work.Injection.N*len(spec.Cells()) + work.Beam.N*len(spec.BeamCells())
+	mux.addStolen(stolen)
+	if work.Injection.Empty() && work.Beam.Empty() {
+		// The checkpoint already covers the whole plan: fold it alone.
+		full, err := fleet.MergeShardPartials(plan, ckpt)
+		if err != nil {
+			return &shardError{task: t, err: fmt.Errorf("re-split fold: %w", err)}
+		}
+		if err := full.WriteFileAtomic(t.OutPath); err != nil {
+			return &shardError{task: t, err: err}
+		}
+		os.Remove(t.CheckpointPath)
+		return nil
+	}
+	ways := opts.StealWays
+	logf("shard %s: re-splitting %d remaining trials %d ways", t.ShardArg(), stolen, ways)
+	var subTasks []Task
+	var keys []int
+	for w := 0; w < ways; w++ {
+		sub := fleet.ShardPlan{
+			Index:     plan.Index,
+			Count:     plan.Count,
+			Injection: work.Injection.Split(w, ways),
+			Beam:      work.Beam.Split(w, ways),
+		}
+		if sub.Injection.Empty() && sub.Beam.Empty() {
+			continue
+		}
+		sp := sub
+		out := fmt.Sprintf("%s.steal-%d-of-%d", t.OutPath, w+1, ways)
+		subTasks = append(subTasks, Task{
+			Shard: t.Shard, Count: t.Count,
+			SpecPath:        t.SpecPath,
+			OutPath:         out,
+			Plan:            &sp,
+			CheckpointPath:  out + ".ckpt",
+			CheckpointEvery: t.CheckpointEvery,
+		})
+		keys = append(keys, t.Count+stolenIdx*ways+w)
+	}
+	var wg sync.WaitGroup
+	subErrs := make([]*shardError, len(subTasks))
+	for i := range subTasks {
+		tk := s.budget.enqueue()
+		wg.Add(1)
+		go func(i int, tk *ticket) {
+			defer wg.Done()
+			if s.budget.wait(jctx, tk) != nil {
+				return
+			}
+			defer s.budget.release()
+			subErrs[i] = superviseShard(jctx, subTasks[i], opts, mux, keys[i])
+		}(i, tk)
+	}
+	wg.Wait()
+	if jctx.Err() != nil {
+		return nil // job cancelled; not this shard's failure
+	}
+	for _, e := range subErrs {
+		if e != nil {
+			return e
+		}
+	}
+	parts := make([]*fleet.SweepResult, 0, len(subTasks)+1)
+	if ckpt != nil {
+		parts = append(parts, ckpt)
+	}
+	for _, st := range subTasks {
+		p, err := fleet.ReadShardFile(st.OutPath)
+		if err != nil {
+			return &shardError{task: t, err: fmt.Errorf("re-split sub-partial: %w", err)}
+		}
+		parts = append(parts, p)
+	}
+	full, err := fleet.MergeShardPartials(plan, parts...)
+	if err != nil {
+		return &shardError{task: t, err: fmt.Errorf("re-split fold: %w", err)}
+	}
+	if err := full.WriteFileAtomic(t.OutPath); err != nil {
+		return &shardError{task: t, err: err}
+	}
+	for _, st := range subTasks {
+		os.Remove(st.OutPath)
+		os.Remove(st.CheckpointPath)
+	}
+	os.Remove(t.CheckpointPath)
+	logf("shard %s: re-split complete, partial refolded (%s)", t.ShardArg(), t.OutPath)
+	return nil
 }
 
 // Options returns a copy of the scheduler's validated config (hooks

@@ -66,17 +66,38 @@ func Run(ctx context.Context, spec fleet.Sweep, opts Options) (*fleet.SweepResul
 
 // superviseShard drives one shard through its attempt budget. nil means
 // its partial landed and validated; non-nil is a permanent failure. A
-// shard aborted because the whole job was cancelled is not a failure.
-func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux) *shardError {
+// shard aborted because the whole job was cancelled is not a failure. key
+// is the task's progress-mux identity — the shard index for primary
+// workers, a synthetic key for re-split straggler sub-workers.
+//
+// When the task checkpoints (CheckpointPath set), every relaunch first
+// looks for a valid checkpoint from the failed attempt: if one covers a
+// non-empty prefix of the shard's plan, the new attempt resumes from it —
+// identical failure classification, strictly fewer recomputed trials.
+func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux, key int) *shardError {
 	tail := &tailBuffer{max: tailBytes}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if t.CheckpointPath != "" {
+		// A checkpoint left by an earlier fan-out in the same directory
+		// must not masquerade as this run's progress.
+		os.Remove(t.CheckpointPath)
+	}
 	for attempt := 0; ; attempt++ {
 		t.Attempt = attempt
+		t.ResumeFrom = ""
 		if attempt > 0 {
-			mux.reset(t.Shard)
+			mux.reset(key)
+			if t.CheckpointPath != "" {
+				if salvaged, ok := resumableTrials(t); ok {
+					t.ResumeFrom = t.CheckpointPath
+					mux.addResumed(salvaged)
+					logf("shard %s: resuming from checkpoint %s (%d trials already banked)",
+						t.ShardArg(), t.CheckpointPath, salvaged)
+				}
+			}
 			delay := backoffDelay(opts.Backoff, attempt)
 			logf("shard %s: retry %d/%d in %s", t.ShardArg(), attempt, opts.Retries, delay)
 			if sleepCtx(ctx, delay) != nil {
@@ -85,9 +106,12 @@ func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux)
 		} else {
 			logf("shard %s: launching", t.ShardArg())
 		}
-		err := launchOnce(ctx, t, opts, mux, tail)
+		err := launchOnce(ctx, t, opts, mux, key, tail)
 		if err == nil {
 			logf("shard %s: partial validated (%s)", t.ShardArg(), t.OutPath)
+			if t.CheckpointPath != "" {
+				os.Remove(t.CheckpointPath) // spent; the partial supersedes it
+			}
 			return nil
 		}
 		if ctx.Err() != nil {
@@ -102,10 +126,34 @@ func superviseShard(ctx context.Context, t Task, opts Options, mux *progressMux)
 	}
 }
 
+// resumableTrials loads and validates the task's checkpoint against its
+// plan and reports how many cell-weighted trials it banks (injection
+// trials × injection cells + beam runs × beam cells — the unit the
+// trialsResumed/trialsStolen counters use); ok is false when there is
+// nothing valid to resume and the attempt recomputes from zero.
+func resumableTrials(t Task) (int, bool) {
+	spec, err := fleet.ReadSpecFile(t.SpecPath)
+	if err != nil {
+		return 0, false
+	}
+	var plan fleet.ShardPlan
+	if t.Plan != nil {
+		plan = *t.Plan
+	} else if plan, err = spec.Plan(t.Shard, t.Count); err != nil {
+		return 0, false
+	}
+	ck, _, err := fleet.LoadCheckpoint(t.CheckpointPath, spec, plan)
+	if err != nil {
+		return 0, false
+	}
+	salvaged := ck.Shard.Injection.N*len(spec.Cells()) + ck.Shard.Beam.N*len(spec.BeamCells())
+	return salvaged, salvaged > 0
+}
+
 // launchOnce runs one attempt: stale-partial removal, launch under the
 // per-attempt timeout, stderr demux (progress events to the mux, the rest
 // to the failure tail), and artifact validation.
-func launchOnce(ctx context.Context, t Task, opts Options, mux *progressMux, tail *tailBuffer) error {
+func launchOnce(ctx context.Context, t Task, opts Options, mux *progressMux, key int, tail *tailBuffer) error {
 	// A partial left by a killed or crashed prior attempt must never pass
 	// for this attempt's output.
 	if err := os.Remove(t.OutPath); err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -119,7 +167,7 @@ func launchOnce(ctx context.Context, t Task, opts Options, mux *progressMux, tai
 	}
 	lw := &lineWriter{fn: func(line []byte) {
 		if ev, ok := parseEvent(line); ok {
-			mux.report(t.Shard, ev.Done)
+			mux.report(key, ev.Done, ev.Total)
 			return
 		}
 		tail.writeLine(line)

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -101,6 +102,63 @@ func FuzzReadJSON(f *testing.F) {
 		}
 		if _, err := ReadJSON(bytes.NewReader(buf.Bytes())); err != nil {
 			t.Fatalf("re-encoded result failed to re-read: %v", err)
+		}
+	})
+}
+
+// FuzzLoadCheckpoint hardens the resume path: a checkpoint artifact is
+// whatever a killed worker left on disk, so truncated, corrupt, stale-plan
+// or hand-edited bytes must come back as errors the caller degrades from —
+// never a panic, and never an accepted checkpoint whose ranges would poison
+// a merge. The valid-checkpoint seed is generated live (artifact bytes
+// embed computed results); the committed corpus carries the malformed
+// shapes.
+func FuzzLoadCheckpoint(f *testing.F) {
+	spec := ckptSweep()
+	plan, err := spec.Plan(0, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pre := ShardPlan{Index: 0, Count: 1, Injection: TrialRange{N: 2}, Beam: TrialRange{N: 2}}
+	part, err := spec.RunPlan(context.Background(), pre)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := part.WriteJSON(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	for _, seed := range fuzzResultSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ck.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, rest, err := LoadCheckpoint(path, spec, plan)
+		if err != nil {
+			return // degrades to resume-from-zero, exactly as intended
+		}
+		// An accepted checkpoint must be a genuine prefix: checkpoint plus
+		// remainder tile the plan with nothing lost and nothing doubled.
+		if ck.Shard == nil {
+			t.Fatal("accepted checkpoint has no shard tag")
+		}
+		if ck.Shard.Injection.N+rest.Injection.N != plan.Injection.N ||
+			ck.Shard.Beam.N+rest.Beam.N != plan.Beam.N {
+			t.Fatalf("accepted checkpoint loses trials: ck %+v rest %+v plan %+v", ck.Shard, rest, plan)
+		}
+		if re, err := ResumePlan(plan, *ck.Shard); err != nil || re != rest {
+			t.Fatalf("accepted checkpoint not re-derivable: %+v vs %+v (%v)", re, rest, err)
+		}
+		// And it must fold without error when it covers the whole plan.
+		if rest.Injection.Empty() && rest.Beam.Empty() {
+			if _, err := MergeShardPartials(plan, ck); err != nil {
+				t.Fatalf("full-coverage checkpoint refuses to fold: %v", err)
+			}
 		}
 	})
 }

@@ -230,12 +230,29 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 	grid := spec.Cells()
 	beamGrid := spec.BeamCells()
 	out := &SweepResult{Spec: ps[0].Spec}
-	if len(grid) > 0 {
-		out.Cells = make([]CellResult, len(grid))
+	cells, err := mergeCells(ps, grid, false)
+	if err != nil {
+		return nil, err
 	}
-	if len(beamGrid) > 0 {
-		out.BeamCells = make([]BeamCellResult, len(beamGrid))
+	beamCells, err := mergeBeamCells(ps, beamGrid, false)
+	if err != nil {
+		return nil, err
 	}
+	out.Cells = cells
+	out.BeamCells = beamCells
+	return out, nil
+}
+
+// mergeCells folds every injection cell's per-part results into one
+// CampaignResult per cell, validating that each part carries the grid's
+// exact cell specs. With allowEmpty a cell with no results in any part
+// folds to a nil Result (what an empty-range shard records); without it
+// that is an error — a whole-sweep merge must account for every trial.
+func mergeCells(ps []*SweepResult, grid []CellSpec, allowEmpty bool) ([]CellResult, error) {
+	if len(grid) == 0 {
+		return nil, nil
+	}
+	out := make([]CellResult, len(grid))
 	for i, c := range grid {
 		var acc *core.CampaignResult
 		for _, p := range ps {
@@ -257,11 +274,20 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 				return nil, fmt.Errorf("fleet: cell %s/%s/%s: %w", c.Benchmark, c.Model, c.Policy, err)
 			}
 		}
-		if acc == nil {
+		if acc == nil && !allowEmpty {
 			return nil, fmt.Errorf("fleet: cell %s/%s/%s has no results in any shard", c.Benchmark, c.Model, c.Policy)
 		}
-		out.Cells[i] = CellResult{CellSpec: c, Result: acc}
+		out[i] = CellResult{CellSpec: c, Result: acc}
 	}
+	return out, nil
+}
+
+// mergeBeamCells is mergeCells for the beam grid.
+func mergeBeamCells(ps []*SweepResult, beamGrid []BeamCellSpec, allowEmpty bool) ([]BeamCellResult, error) {
+	if len(beamGrid) == 0 {
+		return nil, nil
+	}
+	out := make([]BeamCellResult, len(beamGrid))
 	for j, c := range beamGrid {
 		var acc *beam.Result
 		for _, p := range ps {
@@ -283,10 +309,10 @@ func MergeSweepResults(parts ...*SweepResult) (*SweepResult, error) {
 				return nil, fmt.Errorf("fleet: beam cell %s/%s/ecc=%v: %w", c.Benchmark, c.Device, !c.DisableECC, err)
 			}
 		}
-		if acc == nil {
+		if acc == nil && !allowEmpty {
 			return nil, fmt.Errorf("fleet: beam cell %s/%s/ecc=%v has no results in any shard", c.Benchmark, c.Device, !c.DisableECC)
 		}
-		out.BeamCells[j] = BeamCellResult{BeamCellSpec: c, Result: acc}
+		out[j] = BeamCellResult{BeamCellSpec: c, Result: acc}
 	}
 	return out, nil
 }

@@ -197,6 +197,11 @@ type Stats struct {
 	// artifacts vs computed by workers.
 	TrialsFromCache int64 `json:"trialsFromCache"`
 	TrialsComputed  int64 `json:"trialsComputed"`
+	// TrialsResumed and TrialsStolen total, across every finished job, the
+	// cell-weighted trials salvaged by checkpoint resume and straggler
+	// re-splitting. Zero when the scheduler runs without elastic execution.
+	TrialsResumed int64 `json:"trialsResumed"`
+	TrialsStolen  int64 `json:"trialsStolen"`
 	// Evictions counts artifacts removed by the size bound.
 	Evictions int64 `json:"evictions"`
 	// CacheEntries and CacheBytes snapshot the on-disk cache extent.

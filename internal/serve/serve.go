@@ -117,6 +117,12 @@ type Status struct {
 	// trials between the cached prefix and fresh compute.
 	TrialsFromCache int `json:"trialsFromCache,omitempty"`
 	TrialsComputed  int `json:"trialsComputed,omitempty"`
+	// TrialsResumed counts cell-weighted trials salvaged from shard
+	// checkpoints when crashed or preempted workers were relaunched;
+	// TrialsStolen counts trials re-split off cancelled stragglers. Both are
+	// zero unless the scheduler runs with checkpointing/stealing armed.
+	TrialsResumed int64 `json:"trialsResumed,omitempty"`
+	TrialsStolen  int64 `json:"trialsStolen,omitempty"`
 	// Coalesced is set on POST responses that joined an already-in-flight
 	// job instead of starting a new one.
 	Coalesced bool `json:"coalesced,omitempty"`
@@ -290,11 +296,13 @@ func (s *Server) status(e *entry) Status {
 		if e.job != nil {
 			js := e.job.Status()
 			st.Done, st.Total = js.Done, js.Total
+			st.TrialsResumed, st.TrialsStolen = js.TrialsResumed, js.TrialsStolen
 		}
 		return st
 	}
 	js := e.job.Status()
 	st.State, st.Done, st.Total = string(js.State), js.Done, js.Total
+	st.TrialsResumed, st.TrialsStolen = js.TrialsResumed, js.TrialsStolen
 	return st
 }
 
@@ -462,8 +470,12 @@ func (s *Server) finalize(e *entry) {
 	s.storeCached(e.hash, e.artifact, res)
 	s.mu.Lock()
 	// Fresh compute is counted when it actually lands, so failed jobs
-	// never inflate the savings ledger.
+	// never inflate the savings ledger. Elastic salvage totals come from
+	// the job's own counters at the same moment, for the same reason.
 	s.stats.TrialsComputed += int64(e.freshTrials)
+	js := e.job.Status()
+	s.stats.TrialsResumed += js.TrialsResumed
+	s.stats.TrialsStolen += js.TrialsStolen
 	s.mu.Unlock()
 	close(e.done)
 	s.logf("serve: sweep %.12s done (%d bytes)", e.hash, len(e.artifact))
